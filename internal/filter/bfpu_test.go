@@ -1,0 +1,69 @@
+package filter
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+func TestNewBFPUValidation(t *testing.T) {
+	if _, err := NewBFPU(BFPUConfig{Op: BinaryOp(9)}); err == nil {
+		t.Error("bad opcode should fail")
+	}
+	if _, err := NewBFPU(BFPUConfig{Op: BNoOp, Choice: 2}); err == nil {
+		t.Error("bad choice should fail")
+	}
+	if _, err := NewBFPU(BFPUConfig{Op: BUnion}); err != nil {
+		t.Errorf("valid config failed: %v", err)
+	}
+}
+
+func TestBFPUOps(t *testing.T) {
+	a := bitvec.FromIDs(8, 1, 2, 3)
+	b := bitvec.FromIDs(8, 3, 4)
+
+	cases := []struct {
+		cfg  BFPUConfig
+		want string
+	}{
+		{BFPUConfig{Op: BNoOp, Choice: 0}, "{1, 2, 3}"},
+		{BFPUConfig{Op: BNoOp, Choice: 1}, "{3, 4}"},
+		{BFPUConfig{Op: BUnion}, "{1, 2, 3, 4}"},
+		{BFPUConfig{Op: BIntersect}, "{3}"},
+		{BFPUConfig{Op: BDiff}, "{1, 2}"},
+	}
+	for _, c := range cases {
+		u, err := NewBFPU(c.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := u.Exec(a, b)
+		if out.String() != c.want {
+			t.Errorf("%s(choice=%d) = %s, want %s", c.cfg.Op, c.cfg.Choice, out, c.want)
+		}
+		if u.Cycles() != BFPUCycles {
+			t.Errorf("%s consumed %d cycles, want %d", c.cfg.Op, u.Cycles(), BFPUCycles)
+		}
+	}
+}
+
+func TestBFPUWidthMismatchPanics(t *testing.T) {
+	u, _ := NewBFPU(BFPUConfig{Op: BUnion})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width mismatch should panic")
+		}
+	}()
+	u.Exec(bitvec.New(8), bitvec.New(16))
+}
+
+func TestBFPUDoesNotAliasInputs(t *testing.T) {
+	a := bitvec.FromIDs(8, 1)
+	b := bitvec.FromIDs(8, 2)
+	u, _ := NewBFPU(BFPUConfig{Op: BUnion})
+	out := u.Exec(a, b)
+	out.Set(7)
+	if a.Get(7) || b.Get(7) {
+		t.Fatal("BFPU output aliases an input vector")
+	}
+}

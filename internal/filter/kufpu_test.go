@@ -1,0 +1,227 @@
+package filter
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/smbm"
+)
+
+func TestNewKUFPUValidation(t *testing.T) {
+	s := smbm.New(8, 1)
+	if _, err := NewKUFPU(s, 0, UFPUConfig{Op: UMin, Attr: 0}); err == nil {
+		t.Error("zero length should fail")
+	}
+	if _, err := NewKUFPU(s, 4, UFPUConfig{Op: UMin, Attr: 5}); err == nil {
+		t.Error("bad attr should fail")
+	}
+	k, err := NewKUFPU(s, 4, UFPUConfig{Op: UMin, Attr: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.MaxLen() != 4 {
+		t.Fatalf("MaxLen = %d", k.MaxLen())
+	}
+	if k.Table() != s {
+		t.Fatal("Table() mismatch")
+	}
+}
+
+func TestKUFPUTopKMin(t *testing.T) {
+	vals := []int64{50, 10, 30, 70, 90, 20, 60, 40}
+	s := buildTable(t, 8, 1, func(id, _ int) int64 { return vals[id] })
+	k, err := NewKUFPU(s, 8, UFPUConfig{Op: UMin, Attr: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K=3 over all: three smallest values are 10 (id 1), 20 (id 5), 30 (id 2).
+	out := k.Exec(bitvec.Ones(8), 3)
+	if got, want := out.String(), "{1, 2, 5}"; got != want {
+		t.Fatalf("top-3 min = %s, want %s", got, want)
+	}
+	// K=1 behaves like a plain UFPU.
+	out = k.Exec(bitvec.Ones(8), 1)
+	if got, want := out.String(), "{1}"; got != want {
+		t.Fatalf("K=1 min = %s, want %s", got, want)
+	}
+	// K=0 yields an empty table.
+	if out := k.Exec(bitvec.Ones(8), 0); out.Any() {
+		t.Fatalf("K=0 = %s, want empty", out)
+	}
+	// K larger than input cardinality returns everything.
+	out = k.Exec(bitvec.FromIDs(8, 3, 4), 8)
+	if got, want := out.String(), "{3, 4}"; got != want {
+		t.Fatalf("K=8 over 2 inputs = %s, want %s", got, want)
+	}
+}
+
+func TestKUFPUExecPanicsOnBadK(t *testing.T) {
+	s := buildTable(t, 4, 1, func(id, _ int) int64 { return int64(id) })
+	k, _ := NewKUFPU(s, 4, UFPUConfig{Op: UMin, Attr: 0})
+	for _, bad := range []int{-1, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("K=%d should panic", bad)
+				}
+			}()
+			k.Exec(bitvec.Ones(4), bad)
+		}()
+	}
+}
+
+func TestKUFPUDistinctRandomSamples(t *testing.T) {
+	s := buildTable(t, 16, 0, nil)
+	k, err := NewKUFPU(s, 16, UFPUConfig{Op: URandom, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := bitvec.Ones(16)
+	for trial := 0; trial < 200; trial++ {
+		out := k.Exec(in, 4)
+		if out.Count() != 4 {
+			t.Fatalf("trial %d: %d distinct samples, want 4 (out=%s)", trial, out.Count(), out)
+		}
+		if !out.IsSubset(in) {
+			t.Fatalf("samples escape input: %s", out)
+		}
+	}
+}
+
+func TestKUFPULatency(t *testing.T) {
+	s := buildTable(t, 8, 1, func(id, _ int) int64 { return int64(id) })
+	k, _ := NewKUFPU(s, 4, UFPUConfig{Op: UMin, Attr: 0})
+	want := uint64(4 * (UFPUCycles + IOGenCycles))
+	if k.Latency() != want {
+		t.Fatalf("Latency = %d, want %d", k.Latency(), want)
+	}
+}
+
+func TestKUFPUResetState(t *testing.T) {
+	s := buildTable(t, 8, 0, nil)
+	k, _ := NewKUFPU(s, 4, UFPUConfig{Op: URandom, Seed: 3})
+	in := bitvec.Ones(8)
+	first := k.Exec(in, 2).String()
+	k.Exec(in, 2)
+	k.ResetState()
+	if got := k.Exec(in, 2).String(); got != first {
+		t.Fatalf("after reset: %s, want %s", got, first)
+	}
+}
+
+// TestPropertyTopKMatchesSort verifies a K-chain of min operators selects
+// exactly the K smallest entries (by value, FIFO tie-break) for random
+// tables and input masks.
+func TestPropertyTopKMatchesSort(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const n = 14
+		s := smbm.New(n, 1)
+		type ent struct {
+			id  int
+			val int64
+			seq int
+		}
+		var ents []ent
+		seq := 0
+		for _, id := range r.Perm(n) {
+			if r.Intn(5) == 0 {
+				continue
+			}
+			v := int64(r.Intn(8))
+			if err := s.Add(id, []int64{v}); err != nil {
+				return false
+			}
+			ents = append(ents, ent{id, v, seq})
+			seq++
+		}
+		in := bitvec.New(n)
+		var inEnts []ent
+		for _, e := range ents {
+			if r.Intn(3) > 0 {
+				in.Set(e.id)
+				inEnts = append(inEnts, e)
+			}
+		}
+		kv := r.Intn(n + 1)
+		k, err := NewKUFPU(s, n, UFPUConfig{Op: UMin, Attr: 0})
+		if err != nil {
+			return false
+		}
+		got := k.Exec(in, kv)
+
+		sort.SliceStable(inEnts, func(i, j int) bool { return inEnts[i].val < inEnts[j].val })
+		want := bitvec.New(n)
+		for i := 0; i < kv && i < len(inEnts); i++ {
+			want.Set(inEnts[i].id)
+		}
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRandomChainDistinct verifies a chain of K random operators
+// always yields min(K, |input|) distinct members of the input.
+func TestPropertyRandomChainDistinct(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		const n = 12
+		s := smbm.New(n, 0)
+		in := bitvec.New(n)
+		for id := 0; id < n; id++ {
+			if r.Intn(2) == 0 {
+				if err := s.Add(id, nil); err != nil {
+					return false
+				}
+				in.Set(id)
+			}
+		}
+		kv := int(kRaw) % (n + 1)
+		k, err := NewKUFPU(s, n, UFPUConfig{Op: URandom, Seed: uint16(seed)})
+		if err != nil {
+			return false
+		}
+		out := k.Exec(in, kv)
+		wantCount := kv
+		if c := in.Count(); c < wantCount {
+			wantCount = c
+		}
+		return out.Count() == wantCount && out.IsSubset(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUFPUPredicate128(b *testing.B) {
+	s := buildTable(b, 128, 4, func(id, dim int) int64 { return int64((id*31 + dim*7) % 100) })
+	u, err := NewUFPU(s, UFPUConfig{Op: UPredicate, Attr: 1, Rel: LT, Val: 50})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := bitvec.Ones(128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.Exec(in)
+	}
+}
+
+func BenchmarkKUFPUMin8of128(b *testing.B) {
+	s := buildTable(b, 128, 4, func(id, dim int) int64 { return int64((id*31 + dim*7) % 100) })
+	k, err := NewKUFPU(s, 8, UFPUConfig{Op: UMin, Attr: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := bitvec.Ones(128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Exec(in, 8)
+	}
+}

@@ -1,0 +1,190 @@
+package filter
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/hw"
+	"repro/internal/smbm"
+)
+
+// UFPUCycles is the processing latency of one UFPU in clock cycles
+// (§5.2.1: "The processing latency is two clock cycles").
+const UFPUCycles = 2
+
+// UFPUConfig is the compile-time configuration of a UFPU: the opcode plus
+// the attrX / val / rel_op operands shown in Figure 11. Attr indexes a
+// metric dimension of the SMBM; it is ignored by no-op and random. Seed
+// seeds the unit's LFSR for the random opcode.
+type UFPUConfig struct {
+	Op   UnaryOp
+	Attr int
+	Rel  RelOp
+	Val  int64
+	Seed uint16
+}
+
+// UFPU is a cycle-accurate functional model of Thanos's Unary Filter
+// Processing Unit. A UFPU is bound to one SMBM resource table, reads the
+// table's dimensions every cycle (flip-flop parallelism, §5.1.3), and keeps
+// the per-unit state the paper describes: <last_id, w> for round-robin and
+// an LFSR for random.
+type UFPU struct {
+	cfg    UFPUConfig
+	table  *smbm.SMBM
+	lfsr   *hw.LFSR
+	lastID int
+	w      int64
+	clock  hw.Clock
+}
+
+// NewUFPU creates a UFPU bound to the given resource table with the given
+// configuration. It returns an error if the configuration references a
+// metric dimension the table does not have.
+func NewUFPU(table *smbm.SMBM, cfg UFPUConfig) (*UFPU, error) {
+	if table == nil {
+		return nil, fmt.Errorf("filter: UFPU requires a table")
+	}
+	if cfg.Op.NeedsAttr() && (cfg.Attr < 0 || cfg.Attr >= table.NumMetrics()) {
+		return nil, fmt.Errorf("filter: %s references metric %d, table has %d",
+			cfg.Op, cfg.Attr, table.NumMetrics())
+	}
+	if cfg.Op > URandom {
+		return nil, fmt.Errorf("filter: invalid unary opcode %d", cfg.Op)
+	}
+	return &UFPU{cfg: cfg, table: table, lfsr: hw.NewLFSR(cfg.Seed), lastID: -1}, nil
+}
+
+// Config returns the unit's compile-time configuration.
+func (u *UFPU) Config() UFPUConfig { return u.cfg }
+
+// Cycles returns the cumulative clock cycles consumed by Exec calls.
+func (u *UFPU) Cycles() uint64 { return u.clock.Cycles() }
+
+// ResetState restores the unit's runtime state (round-robin pointer, LFSR)
+// to its post-configuration value. Configuration is unchanged.
+func (u *UFPU) ResetState() {
+	u.lastID, u.w = -1, 0
+	u.lfsr = hw.NewLFSR(u.cfg.Seed)
+}
+
+// Exec applies the configured unary operation to the input table and
+// returns the output table, charging UFPUCycles cycles. The input vector's
+// width must equal the table capacity. Input bits for ids not currently in
+// the SMBM are treated as invalid (masked to NULL in the temp_list, §5.2.1)
+// by every opcode except no-op, which is a pure combinational copy.
+func (u *UFPU) Exec(in *bitvec.Vector) *bitvec.Vector {
+	if in.Len() != u.table.Capacity() {
+		panic(fmt.Sprintf("filter: input width %d != table capacity %d", in.Len(), u.table.Capacity()))
+	}
+	u.clock.Tick(UFPUCycles)
+	out := bitvec.New(in.Len())
+
+	switch u.cfg.Op {
+	case UNoOp:
+		out.CopyFrom(in)
+
+	case UPredicate:
+		// Cycle 1: copy the attrX dimension into a temp list, masking
+		// entries whose resource is absent from the input vector.
+		// Cycle 2: apply the predicate to each valid entry in parallel and
+		// set output bits through the reverse map.
+		d := u.table.Dim(u.cfg.Attr)
+		for p := 0; p < d.Len(); p++ {
+			id := d.ID(p)
+			if in.Get(id) && u.cfg.Rel.Eval(d.Value(p), u.cfg.Val) {
+				out.Set(id)
+			}
+		}
+
+	case UMin, UMax:
+		// Cycle 1: copy sorted attrX list with masking. Cycle 2: priority-
+		// encode the first (min) or last (max) valid entry.
+		d := u.table.Dim(u.cfg.Attr)
+		valid := bitvec.New(d.Len())
+		if d.Len() > 0 {
+			for p := 0; p < d.Len(); p++ {
+				if in.Get(d.ID(p)) {
+					valid.Set(p)
+				}
+			}
+		}
+		var pos int
+		if u.cfg.Op == UMin {
+			pos = hw.PriorityEncodeFirst(valid)
+		} else {
+			pos = hw.PriorityEncodeLast(valid)
+		}
+		if pos >= 0 {
+			out.Set(d.ID(pos))
+		}
+
+	case URoundRobin:
+		u.execRoundRobin(in, out)
+
+	case URandom:
+		// Cycle 1: LFSR produces a random index r. Cycle 2: if in[r] is
+		// set select r, else select the first set bit cyclically after r.
+		r := u.lfsr.NextBelow(in.Len())
+		masked := u.maskToMembers(in)
+		if masked.Get(r) {
+			out.Set(r)
+		} else if i := hw.PriorityEncodeRotated(masked, r); i >= 0 {
+			out.Set(i)
+		}
+	}
+	return out
+}
+
+// execRoundRobin implements the weighted round-robin datapath of §5.2.1.
+// The unit holds <last_id, w>: the last selected resource and how many times
+// in a row it has been selected. While last_id remains a valid input and
+// w ≤ weight(last_id) (weight = its attrX value), last_id is re-selected;
+// otherwise the unit advances to the next valid id in cyclic order. Note the
+// paper's comparison "w less than or equal to weight" yields weight+1
+// consecutive selections for a resource of weight w (one at switch time plus
+// w re-selections); we reproduce that behaviour exactly.
+//
+// One deviation from the paper's letter: the paper feeds the rotation
+// {in[last_id:N-1], in[0:last_id-1]} to the priority encoder, whose first
+// element is last_id itself — taken literally, a still-valid last_id would
+// be re-selected forever once its weight is exhausted. We rotate from
+// last_id+1 so the encoder returns the next *different* valid id (wrapping
+// back to last_id only if it is the sole valid input), which is the
+// behaviour the surrounding text describes.
+func (u *UFPU) execRoundRobin(in, out *bitvec.Vector) {
+	masked := u.maskToMembers(in)
+	if !masked.Any() {
+		return
+	}
+	weight := func(id int) int64 {
+		v, ok := u.table.Value(id, u.cfg.Attr)
+		if !ok {
+			return 0
+		}
+		return v
+	}
+	if u.lastID >= 0 && masked.Get(u.lastID) && u.w <= weight(u.lastID) {
+		out.Set(u.lastID)
+		u.w++
+		return
+	}
+	start := 0
+	if u.lastID >= 0 {
+		start = (u.lastID + 1) % in.Len()
+	}
+	i := hw.PriorityEncodeRotated(masked, start)
+	out.Set(i)
+	u.lastID, u.w = i, 1
+}
+
+// maskToMembers intersects the input vector with the table's current
+// membership, modeling the NULL-masking the reverse map performs on the
+// temp_list for ids that are set in the input vector but absent from the
+// table.
+func (u *UFPU) maskToMembers(in *bitvec.Vector) *bitvec.Vector {
+	members := u.table.Members()
+	masked := bitvec.New(in.Len())
+	masked.And(in, members)
+	return masked
+}

@@ -1,0 +1,179 @@
+package graphdb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/policy"
+	"repro/internal/smbm"
+)
+
+// Cache is the in-network query cache of §7.2.5: a leaf switch stores the
+// most popular course nodes in an SMBM and implements the most popular
+// filter queries with its filter pipeline. A query whose kind is installed
+// is answered entirely at the switch, saving the network round trip and the
+// server's processing time.
+//
+// A cached answer is exact when the cache holds every course that matches
+// the query against the full database; InstallFor guarantees this by
+// caching exactly the union of the popular queries' result sets (the
+// offline trace analysis step the paper describes).
+type Cache struct {
+	table   *smbm.SMBM
+	courses map[int]Course
+	interps map[int]*policy.Interp
+	pols    map[int]*policy.Policy
+	// Course ids are global; SMBM slots are dense local ids in
+	// [0, capacity). localOf and globalOf translate between them.
+	localOf  map[int]int
+	globalOf []int
+}
+
+// NewCache creates a switch cache holding up to capacity course nodes.
+// Capacity is bounded by the SMBM scalability limit (§6): a few hundred
+// entries at line rate.
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		table:   smbm.New(capacity, len(Schema.Attrs)),
+		courses: make(map[int]Course),
+		interps: make(map[int]*policy.Interp),
+		pols:    make(map[int]*policy.Policy),
+		localOf: make(map[int]int),
+	}
+}
+
+// Len returns the number of cached nodes.
+func (c *Cache) Len() int { return c.table.Size() }
+
+// Capacity returns the node capacity.
+func (c *Cache) Capacity() int { return c.table.Capacity() }
+
+// InsertNode caches one course node (idempotent), assigning it the next
+// dense local SMBM slot.
+func (c *Cache) InsertNode(course Course) error {
+	if _, cached := c.localOf[course.ID]; cached {
+		return nil
+	}
+	slot := len(c.globalOf)
+	if err := c.table.Add(slot, course.metrics()); err != nil {
+		return err
+	}
+	c.localOf[course.ID] = slot
+	c.globalOf = append(c.globalOf, course.ID)
+	c.courses[course.ID] = course
+	return nil
+}
+
+// Contains reports whether a course id is cached.
+func (c *Cache) Contains(courseID int) bool {
+	_, ok := c.localOf[courseID]
+	return ok
+}
+
+// InstallQuery programs the filter pipeline for query kind k. The cached
+// table must already contain the nodes the query needs.
+func (c *Cache) InstallQuery(kind int, pol *policy.Policy) error {
+	it, err := policy.NewInterp(c.table, Schema, pol)
+	if err != nil {
+		return err
+	}
+	c.interps[kind] = it
+	c.pols[kind] = pol
+	return nil
+}
+
+// Installed reports whether query kind k is answerable at the switch.
+func (c *Cache) Installed(kind int) bool {
+	_, ok := c.interps[kind]
+	return ok
+}
+
+// Lookup answers query kind k from the cache, returning the matching
+// course ids in increasing order. ok is false for uninstalled kinds (the
+// query must go to the server).
+func (c *Cache) Lookup(kind int) (ids []int, ok bool) {
+	it, installed := c.interps[kind]
+	if !installed {
+		return nil, false
+	}
+	outs := it.Exec()
+	res := policy.Resolve(c.pols[kind], outs, 0)
+	ids = res.IDs()
+	for i, slot := range ids {
+		ids[i] = c.globalOf[slot]
+	}
+	sort.Ints(ids)
+	return ids, true
+}
+
+// InstallFor populates the cache for the given popular query kinds against
+// the full database: it runs each query on the server engine, caches the
+// union of the matching nodes, and installs each query whose full result
+// set fit. It returns the kinds actually installed. Kinds whose results
+// exceed remaining capacity are skipped (served by the server as before).
+func (c *Cache) InstallFor(g *Graph, qc *QueryCatalog, kinds []int) ([]int, error) {
+	var installed []int
+	for _, k := range kinds {
+		if k < 0 || k >= qc.Kinds() {
+			return nil, fmt.Errorf("graphdb: query kind %d out of range", k)
+		}
+		full, err := g.FilterQuery(qc.Policy(k))
+		if err != nil {
+			return nil, err
+		}
+		ids := full.IDs()
+		// Check capacity before mutating.
+		newNodes := 0
+		for _, id := range ids {
+			if !c.Contains(id) {
+				newNodes++
+			}
+		}
+		if c.table.Size()+newNodes > c.table.Capacity() {
+			continue // does not fit; leave this kind to the server
+		}
+		for _, id := range ids {
+			course, ok := g.Course(id)
+			if !ok {
+				return nil, fmt.Errorf("graphdb: course %d in result but not in graph", id)
+			}
+			if err := c.InsertNode(course); err != nil {
+				return nil, err
+			}
+		}
+		if err := c.InstallQuery(k, qc.Policy(k)); err != nil {
+			return nil, err
+		}
+		installed = append(installed, k)
+	}
+	return installed, nil
+}
+
+// VerifyAgainst checks every installed query kind against the full
+// database and returns an error naming the first kind whose cached answer
+// differs — the exactness property InstallFor is supposed to guarantee.
+//
+// Note the subtlety it guards: the cached table is a *subset* of the
+// database, so set-complement-style queries (difference against the full
+// table) could diverge; the popular catalog queries are conjunctive
+// predicates, for which subset caching of the full result set is exact.
+func (c *Cache) VerifyAgainst(g *Graph, qc *QueryCatalog) error {
+	for kind := range c.interps {
+		cached, _ := c.Lookup(kind)
+		full, err := g.FilterQuery(qc.Policy(kind))
+		if err != nil {
+			return err
+		}
+		// Compare as id sets (tables have different capacities).
+		cd, fl := cached, full.IDs()
+		if len(cd) != len(fl) {
+			return fmt.Errorf("graphdb: kind %d cached %d ids, server %d", kind, len(cd), len(fl))
+		}
+		for i := range cd {
+			if cd[i] != fl[i] {
+				return fmt.Errorf("graphdb: kind %d diverges at id %d vs %d", kind, cd[i], fl[i])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package hw
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+func TestClock(t *testing.T) {
+	var c Clock
+	if c.Cycles() != 0 {
+		t.Fatal("zero-value Clock should read 0")
+	}
+	c.Tick(2)
+	c.Tick(1)
+	if c.Cycles() != 3 {
+		t.Fatalf("Cycles = %d, want 3", c.Cycles())
+	}
+	c.Reset()
+	if c.Cycles() != 0 {
+		t.Fatal("Reset did not zero the clock")
+	}
+}
+
+func TestLFSRZeroSeedCoerced(t *testing.T) {
+	l := NewLFSR(0)
+	if l.Next() == 0 {
+		t.Fatal("LFSR with coerced seed should never emit 0 immediately")
+	}
+}
+
+func TestLFSRMaximalLength(t *testing.T) {
+	l := NewLFSR(1)
+	seen := make(map[uint16]bool)
+	for i := 0; i < 65535; i++ {
+		s := l.Next()
+		if s == 0 {
+			t.Fatal("LFSR entered all-zero fixed point")
+		}
+		if seen[s] {
+			t.Fatalf("state %#x repeated at step %d: period < 65535", s, i)
+		}
+		seen[s] = true
+	}
+	if len(seen) != 65535 {
+		t.Fatalf("period = %d, want 65535 (maximal)", len(seen))
+	}
+}
+
+func TestLFSRNextBelow(t *testing.T) {
+	l := NewLFSR(7)
+	counts := make([]int, 8)
+	for i := 0; i < 8000; i++ {
+		r := l.NextBelow(8)
+		if r < 0 || r >= 8 {
+			t.Fatalf("NextBelow(8) = %d out of range", r)
+		}
+		counts[r]++
+	}
+	// Every bucket should be hit a reasonable number of times.
+	for i, c := range counts {
+		if c < 500 {
+			t.Errorf("bucket %d hit only %d/8000 times: badly skewed", i, c)
+		}
+	}
+}
+
+func TestLFSRNextBelowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NextBelow(0) should panic")
+		}
+	}()
+	NewLFSR(1).NextBelow(0)
+}
+
+func TestPriorityEncoders(t *testing.T) {
+	v := bitvec.FromIDs(64, 9, 40)
+	if got := PriorityEncodeFirst(v); got != 9 {
+		t.Errorf("first = %d, want 9", got)
+	}
+	if got := PriorityEncodeLast(v); got != 40 {
+		t.Errorf("last = %d, want 40", got)
+	}
+	if got := PriorityEncodeRotated(v, 10); got != 40 {
+		t.Errorf("rotated(10) = %d, want 40", got)
+	}
+	if got := PriorityEncodeRotated(v, 41); got != 9 {
+		t.Errorf("rotated(41) = %d, want 9 (wrap)", got)
+	}
+	empty := bitvec.New(64)
+	if got := PriorityEncodeFirst(empty); got != -1 {
+		t.Errorf("first on empty = %d, want -1", got)
+	}
+}

@@ -1,0 +1,191 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Host is an end system with one NIC. It implements a window-based
+// transport with slow start, AIMD congestion avoidance, fast retransmit on
+// three duplicate ACKs, and a go-back-N retransmission timeout — a
+// deliberately standard TCP-flavoured loop, since the experiments compare
+// routing/load-balancing policies, not transports.
+type Host struct {
+	net *Network
+	id  int
+	nic *Port
+
+	senders   map[int64]*senderState
+	receivers map[int64]*receiverState
+}
+
+type senderState struct {
+	flowID    int64
+	dst       int
+	totalPkts int
+	bytes     int64
+	start     sim.Time
+
+	cumAck   int
+	nextSeq  int
+	cwnd     float64
+	ssthresh float64
+	dupAcks  int
+	timerGen int
+	lastSize int // bytes of the final (possibly short) packet
+}
+
+type receiverState struct {
+	src      int
+	received map[int]bool
+	cumAck   int
+}
+
+func newHost(n *Network, id int) *Host {
+	return &Host{
+		net:       n,
+		id:        id,
+		senders:   make(map[int64]*senderState),
+		receivers: make(map[int64]*receiverState),
+	}
+}
+
+// ID returns the host id.
+func (h *Host) ID() int { return h.id }
+
+// NIC returns the host's port, or nil if unconnected.
+func (h *Host) NIC() *Port { return h.nic }
+
+func (h *Host) startSender(flowID int64, dst int, bytes int64, start sim.Time) {
+	if h.nic == nil {
+		panic(fmt.Sprintf("netsim: host %d has no NIC", h.id))
+	}
+	mtu := int64(h.net.cfg.MTU)
+	pkts := int((bytes + mtu - 1) / mtu)
+	if pkts == 0 {
+		pkts = 1
+	}
+	last := int(bytes - int64(pkts-1)*mtu)
+	if last <= 0 {
+		last = h.net.cfg.MTU
+	}
+	st := &senderState{
+		flowID:    flowID,
+		dst:       dst,
+		totalPkts: pkts,
+		bytes:     bytes,
+		start:     start,
+		cwnd:      h.net.cfg.InitCwnd,
+		ssthresh:  1 << 30,
+		lastSize:  last,
+	}
+	h.senders[flowID] = st
+	h.pump(st)
+	h.armTimer(st)
+}
+
+// pump transmits while the window allows.
+func (h *Host) pump(st *senderState) {
+	for st.nextSeq < st.totalPkts && float64(st.nextSeq-st.cumAck) < st.cwnd {
+		h.sendData(st, st.nextSeq)
+		st.nextSeq++
+	}
+}
+
+func (h *Host) sendData(st *senderState, seq int) {
+	size := h.net.cfg.MTU
+	if seq == st.totalPkts-1 {
+		size = st.lastSize
+	}
+	h.nic.Send(&Packet{
+		FlowID: st.flowID, Src: h.id, Dst: st.dst, Seq: seq, Bytes: size,
+	})
+}
+
+func (h *Host) armTimer(st *senderState) {
+	st.timerGen++
+	gen := st.timerGen
+	h.net.Sched.After(h.net.cfg.RTO, func() {
+		cur, ok := h.senders[st.flowID]
+		if !ok || cur.timerGen != gen {
+			return // completed or superseded
+		}
+		// Timeout: multiplicative decrease and go-back-N.
+		cur.ssthresh = cur.cwnd / 2
+		if cur.ssthresh < 2 {
+			cur.ssthresh = 2
+		}
+		cur.cwnd = 1
+		cur.dupAcks = 0
+		cur.nextSeq = cur.cumAck
+		h.pump(cur)
+		h.armTimer(cur)
+	})
+}
+
+// Receive implements Node.
+func (h *Host) Receive(pkt *Packet, _ int) {
+	if pkt.IsAck {
+		h.handleAck(pkt)
+		return
+	}
+	h.handleData(pkt)
+}
+
+func (h *Host) handleData(pkt *Packet) {
+	rs, ok := h.receivers[pkt.FlowID]
+	if !ok {
+		rs = &receiverState{src: pkt.Src, received: make(map[int]bool)}
+		h.receivers[pkt.FlowID] = rs
+	}
+	rs.received[pkt.Seq] = true
+	for rs.received[rs.cumAck] {
+		delete(rs.received, rs.cumAck)
+		rs.cumAck++
+	}
+	h.nic.Send(&Packet{
+		FlowID: pkt.FlowID, Src: h.id, Dst: pkt.Src,
+		CumAck: rs.cumAck, IsAck: true, Bytes: h.net.cfg.AckBytes,
+	})
+}
+
+func (h *Host) handleAck(pkt *Packet) {
+	st, ok := h.senders[pkt.FlowID]
+	if !ok {
+		return // stale ACK after completion
+	}
+	if pkt.CumAck > st.cumAck {
+		advanced := pkt.CumAck - st.cumAck
+		st.cumAck = pkt.CumAck
+		st.dupAcks = 0
+		if st.cwnd < st.ssthresh {
+			st.cwnd += float64(advanced) // slow start
+		} else {
+			st.cwnd += float64(advanced) / st.cwnd // congestion avoidance
+		}
+		if st.cumAck >= st.totalPkts {
+			delete(h.senders, pkt.FlowID)
+			h.net.flowDone(FlowRecord{
+				FlowID: st.flowID, Src: h.id, Dst: st.dst,
+				Bytes: st.bytes, Start: st.start, End: h.net.Sched.Now(),
+			})
+			return
+		}
+		h.armTimer(st)
+		h.pump(st)
+		return
+	}
+	// Duplicate ACK.
+	st.dupAcks++
+	if st.dupAcks == h.net.cfg.DupAckThreshold {
+		// Fast retransmit + simplified fast recovery.
+		st.ssthresh = st.cwnd / 2
+		if st.ssthresh < 2 {
+			st.ssthresh = 2
+		}
+		st.cwnd = st.ssthresh
+		h.sendData(st, st.cumAck)
+		h.armTimer(st)
+	}
+}

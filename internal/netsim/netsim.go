@@ -1,0 +1,312 @@
+// Package netsim is the packet-level network simulator used for the
+// large-scale experiments of §7.2 (Figures 17 and 18): hosts with a
+// window-based transport, switches with drop-tail output queues and
+// per-port metric tracking, links with configurable rate and propagation
+// delay, and policy-driven routing backed by real Thanos filter machinery
+// (an SMBM resource table per switch, evaluated with the same filter units
+// the hardware pipeline is built from).
+//
+// The simulator is deterministic: all randomness flows from the
+// sim.Scheduler seed.
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Config carries network-wide constants.
+type Config struct {
+	MTU       int     // payload bytes per data packet
+	AckBytes  int     // size of ACK packets on the wire
+	LinkBps   float64 // link rate, bits per second
+	PropDelay sim.Time
+	QueuePkts int // output queue capacity in packets
+	InitCwnd  float64
+	RTO       sim.Time
+	// DupAckThreshold is the number of duplicate ACKs that triggers fast
+	// retransmit. Per-packet load balancing reorders packets, so those
+	// experiments raise it (as DRILL does) to avoid spurious retransmits.
+	DupAckThreshold int
+	UtilAlpha       float64  // EWMA coefficient for link utilization
+	LossAlpha       float64  // EWMA coefficient for link loss rate
+	MetricTick      sim.Time // how often switches refresh metric snapshots
+}
+
+// DefaultConfig returns datacenter-flavored defaults: 10 Gb/s links, 1.5 kB
+// MTU, shallow 100-packet buffers, 1 µs hop propagation, 1 ms RTO.
+func DefaultConfig() Config {
+	return Config{
+		MTU:             1500,
+		AckBytes:        64,
+		LinkBps:         10e9,
+		PropDelay:       1 * sim.Microsecond,
+		QueuePkts:       100,
+		InitCwnd:        10,
+		RTO:             1 * sim.Millisecond,
+		DupAckThreshold: 3,
+		UtilAlpha:       0.2,
+		LossAlpha:       0.2,
+		MetricTick:      100 * sim.Microsecond,
+	}
+}
+
+// Validate sanity-checks the configuration.
+func (c Config) Validate() error {
+	if c.MTU <= 0 || c.AckBytes <= 0 || c.LinkBps <= 0 || c.QueuePkts <= 0 {
+		return fmt.Errorf("netsim: non-positive core parameter")
+	}
+	if c.InitCwnd < 1 || c.RTO <= 0 || c.MetricTick <= 0 || c.DupAckThreshold < 1 {
+		return fmt.Errorf("netsim: non-positive transport parameter")
+	}
+	if c.UtilAlpha <= 0 || c.UtilAlpha > 1 || c.LossAlpha <= 0 || c.LossAlpha > 1 {
+		return fmt.Errorf("netsim: EWMA coefficients must be in (0,1]")
+	}
+	return nil
+}
+
+// Packet is the on-wire unit. Data packets carry Seq; ACKs carry CumAck.
+type Packet struct {
+	FlowID int64
+	Src    int // source host id
+	Dst    int // destination host id
+	Seq    int // data sequence number (packet index within flow)
+	CumAck int // cumulative ACK (first missing seq), valid when IsAck
+	IsAck  bool
+	Bytes  int
+}
+
+// Node consumes packets delivered by links.
+type Node interface {
+	// Receive handles a packet arriving on the node's port with the given
+	// local index.
+	Receive(pkt *Packet, port int)
+}
+
+// Port is one end of a unidirectional-capable duplex link: it owns the
+// outgoing drop-tail queue and transmitter for its direction.
+type Port struct {
+	net   *Network
+	owner Node
+	index int // port index within owner
+
+	peer     *Port
+	peerPort int
+
+	queue      []*Packet
+	busy       bool
+	sentBytes  uint64
+	sentPkts   uint64
+	dropPkts   uint64
+	totalQueue uint64 // for mean-occupancy accounting
+
+	// Metric snapshots refreshed by the owner switch.
+	utilEWMA float64
+	lossEWMA float64
+	lastSent uint64
+	lastDrop uint64
+	lastTot  uint64
+
+	// OnEnqueue/OnDequeue feed event-driven queue tracking (rmt-style).
+	OnEnqueue func()
+	OnDequeue func()
+}
+
+// QueueLen returns the current output-queue occupancy in packets (including
+// the packet being serialized).
+func (p *Port) QueueLen() int {
+	if p.busy {
+		return len(p.queue) + 1
+	}
+	return len(p.queue)
+}
+
+// Drops returns the cumulative packets dropped at this port.
+func (p *Port) Drops() uint64 { return p.dropPkts }
+
+// SentBytes returns the cumulative bytes transmitted.
+func (p *Port) SentBytes() uint64 { return p.sentBytes }
+
+// UtilEWMA returns the smoothed utilization in [0,1] as of the last metric
+// refresh.
+func (p *Port) UtilEWMA() float64 { return p.utilEWMA }
+
+// LossEWMA returns the smoothed loss fraction as of the last metric
+// refresh.
+func (p *Port) LossEWMA() float64 { return p.lossEWMA }
+
+// Send enqueues a packet for transmission, dropping it if the queue is
+// full (drop-tail).
+func (p *Port) Send(pkt *Packet) {
+	if p.QueueLen() >= p.net.cfg.QueuePkts {
+		p.dropPkts++
+		return
+	}
+	p.queue = append(p.queue, pkt)
+	if p.OnEnqueue != nil {
+		p.OnEnqueue()
+	}
+	if !p.busy {
+		p.transmitNext()
+	}
+}
+
+func (p *Port) transmitNext() {
+	if len(p.queue) == 0 {
+		p.busy = false
+		return
+	}
+	pkt := p.queue[0]
+	p.queue = p.queue[1:]
+	p.busy = true
+	if p.OnDequeue != nil {
+		p.OnDequeue()
+	}
+	serialization := sim.Time(float64(pkt.Bytes*8) / p.net.cfg.LinkBps * float64(sim.Second))
+	if serialization < 1 {
+		serialization = 1
+	}
+	p.sentBytes += uint64(pkt.Bytes)
+	p.sentPkts++
+	peer, peerPort := p.peer, p.peerPort
+	p.net.Sched.After(serialization, func() {
+		p.transmitNext() // transmitter free for the next packet
+		p.net.Sched.After(p.net.cfg.PropDelay, func() {
+			peer.owner.Receive(pkt, peerPort)
+		})
+	})
+}
+
+// refreshMetrics updates the EWMA utilization and loss snapshots from the
+// deltas since the previous refresh. interval is the refresh period.
+func (p *Port) refreshMetrics(interval sim.Time) {
+	sentDelta := p.sentBytes - uint64(p.lastSent)
+	capBytes := p.net.cfg.LinkBps / 8 * interval.Seconds()
+	inst := 0.0
+	if capBytes > 0 {
+		inst = float64(sentDelta) / capBytes
+		if inst > 1 {
+			inst = 1
+		}
+	}
+	a := p.net.cfg.UtilAlpha
+	p.utilEWMA = (1-a)*p.utilEWMA + a*inst
+	p.lastSent = p.sentBytes
+
+	dropDelta := p.dropPkts - p.lastDrop
+	pktDelta := p.sentPkts + p.dropPkts - p.lastTot
+	instLoss := 0.0
+	if pktDelta > 0 {
+		instLoss = float64(dropDelta) / float64(pktDelta)
+	}
+	la := p.net.cfg.LossAlpha
+	p.lossEWMA = (1-la)*p.lossEWMA + la*instLoss
+	p.lastDrop = p.dropPkts
+	p.lastTot = p.sentPkts + p.dropPkts
+}
+
+// Network owns the scheduler, hosts, switches and flow bookkeeping.
+type Network struct {
+	Sched    *sim.Scheduler
+	cfg      Config
+	Hosts    []*Host
+	Switches []*Switch
+
+	nextFlowID int64
+	active     int
+	fcts       []FlowRecord
+}
+
+// FlowRecord is the outcome of one completed flow.
+type FlowRecord struct {
+	FlowID   int64
+	Src, Dst int
+	Bytes    int64
+	Start    sim.Time
+	End      sim.Time
+}
+
+// FCT returns the flow completion time.
+func (r FlowRecord) FCT() sim.Time { return r.End - r.Start }
+
+// New creates an empty network with the given seed and configuration.
+func New(seed int64, cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Network{Sched: sim.New(seed), cfg: cfg}, nil
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// AddHost appends a host and returns it; host ids are dense from 0.
+func (n *Network) AddHost() *Host {
+	h := newHost(n, len(n.Hosts))
+	n.Hosts = append(n.Hosts, h)
+	return h
+}
+
+// AddSwitch appends a switch with the given number of ports.
+func (n *Network) AddSwitch(ports int) *Switch {
+	s := newSwitch(n, len(n.Switches), ports)
+	n.Switches = append(n.Switches, s)
+	return s
+}
+
+// Connect wires host h's NIC to switch sw port swPort (full duplex).
+func (n *Network) Connect(h *Host, sw *Switch, swPort int) {
+	up := &Port{net: n, owner: h, index: 0}
+	down := sw.port(swPort)
+	up.peer, up.peerPort = down, swPort
+	down.peer, down.peerPort = up, 0
+	h.nic = up
+}
+
+// ConnectSwitches wires sw1 port p1 to sw2 port p2 (full duplex).
+func (n *Network) ConnectSwitches(sw1 *Switch, p1 int, sw2 *Switch, p2 int) {
+	a, b := sw1.port(p1), sw2.port(p2)
+	a.peer, a.peerPort = b, p2
+	b.peer, b.peerPort = a, p1
+}
+
+// StartFlow schedules a new flow of the given size at time at. The FCT is
+// recorded when the final byte is cumulatively acknowledged.
+func (n *Network) StartFlow(src, dst int, bytes int64, at sim.Time) int64 {
+	if src == dst {
+		panic("netsim: flow to self")
+	}
+	n.nextFlowID++
+	id := n.nextFlowID
+	n.active++
+	n.Sched.At(at, func() {
+		n.Hosts[src].startSender(id, dst, bytes, at)
+	})
+	return id
+}
+
+// ActiveFlows returns the number of flows started but not yet completed.
+func (n *Network) ActiveFlows() int { return n.active }
+
+// Records returns the completed-flow records.
+func (n *Network) Records() []FlowRecord { return n.fcts }
+
+func (n *Network) flowDone(rec FlowRecord) {
+	n.active--
+	n.fcts = append(n.fcts, rec)
+}
+
+// StartMetricTicks begins the periodic per-switch metric refresh loop
+// (§7.2.3: "each switch periodically generates the queuing, loss rate, and
+// utilization metrics for its links").
+func (n *Network) StartMetricTicks() {
+	var tick func()
+	tick = func() {
+		for _, sw := range n.Switches {
+			sw.refreshMetrics(n.cfg.MetricTick)
+		}
+		n.Sched.After(n.cfg.MetricTick, tick)
+	}
+	n.Sched.After(n.cfg.MetricTick, tick)
+}

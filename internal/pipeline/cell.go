@@ -1,0 +1,112 @@
+// Package pipeline implements Thanos's programmable serial chain pipeline
+// (§5.3.2): k stages, each holding n/2 Cells behind an nf×n crossbar
+// realized as a Benes network. A Cell pairs two K-UFPUs with two BFPUs
+// behind cheap 2×2 crossbars, which is the insight that halves the stage
+// crossbar size relative to the naive design while remaining fully
+// reconfigurable.
+//
+// As in the hardware, all configuration (opcodes, operands, crossbar
+// settings) is fixed at compile time by the policy compiler
+// (internal/policy); at run time the pipeline only moves bit-vector tables
+// forward, one packet per clock cycle.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/filter"
+	"repro/internal/smbm"
+)
+
+// KUFPUOp configures one K-UFPU slot of a Cell: the common UFPU
+// configuration for the chain plus K, the number of active units (Figure 12;
+// K=1 makes the chain behave as a single UFPU, K=0 yields an empty table).
+type KUFPUOp struct {
+	filter.UFPUConfig
+	K int
+}
+
+// CellConfig is the compile-time configuration of one Cell: the two K-UFPU
+// operations, the two BFPU operations, and the input 2×2 crossbar setting.
+//
+// Datapath (Figure 13 inset): the cell's two input lines pass through a 2×2
+// crossbar (SwapInputs) into K-UFPU 1 and K-UFPU 2 respectively; both BFPUs
+// then see both K-UFPU outputs as their (table_in_1, table_in_2); BFPU 1
+// drives cell output 1 and BFPU 2 drives cell output 2. A BFPU programmed
+// no-op with choice 0/1 passes through K-UFPU 1/2's output unchanged.
+type CellConfig struct {
+	SwapInputs bool
+	U1, U2     KUFPUOp
+	B1, B2     filter.BFPUConfig
+}
+
+// PassthroughCell returns a CellConfig that forwards input 1 to output 1 and
+// input 2 to output 2 unchanged (all units no-op).
+func PassthroughCell() CellConfig {
+	return CellConfig{
+		U1: KUFPUOp{UFPUConfig: filter.UFPUConfig{Op: filter.UNoOp}, K: 1},
+		U2: KUFPUOp{UFPUConfig: filter.UFPUConfig{Op: filter.UNoOp}, K: 1},
+		B1: filter.BFPUConfig{Op: filter.BNoOp, Choice: 0},
+		B2: filter.BFPUConfig{Op: filter.BNoOp, Choice: 1},
+	}
+}
+
+// Cell is an instantiated Cell bound to a resource table.
+type Cell struct {
+	cfg    CellConfig
+	u1, u2 *filter.KUFPU
+	b1, b2 *filter.BFPU
+}
+
+// NewCell instantiates a Cell over the given table. maxChain is the physical
+// K-UFPU length (the design parameter K in Table 3); each configured K must
+// be within [0, maxChain].
+func NewCell(table *smbm.SMBM, maxChain int, cfg CellConfig) (*Cell, error) {
+	if cfg.U1.K < 0 || cfg.U1.K > maxChain || cfg.U2.K < 0 || cfg.U2.K > maxChain {
+		return nil, fmt.Errorf("pipeline: cell K values (%d, %d) outside [0,%d]",
+			cfg.U1.K, cfg.U2.K, maxChain)
+	}
+	u1, err := filter.NewKUFPU(table, maxChain, cfg.U1.UFPUConfig)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: cell K-UFPU 1: %w", err)
+	}
+	u2, err := filter.NewKUFPU(table, maxChain, cfg.U2.UFPUConfig)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: cell K-UFPU 2: %w", err)
+	}
+	b1, err := filter.NewBFPU(cfg.B1)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: cell BFPU 1: %w", err)
+	}
+	b2, err := filter.NewBFPU(cfg.B2)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: cell BFPU 2: %w", err)
+	}
+	return &Cell{cfg: cfg, u1: u1, u2: u2, b1: b1, b2: b2}, nil
+}
+
+// Config returns the cell's compile-time configuration.
+func (c *Cell) Config() CellConfig { return c.cfg }
+
+// Exec runs one packet's tables through the cell.
+func (c *Cell) Exec(in1, in2 *bitvec.Vector) (out1, out2 *bitvec.Vector) {
+	if c.cfg.SwapInputs {
+		in1, in2 = in2, in1
+	}
+	t1 := c.u1.Exec(in1, c.cfg.U1.K)
+	t2 := c.u2.Exec(in2, c.cfg.U2.K)
+	return c.b1.Exec(t1, t2), c.b2.Exec(t1, t2)
+}
+
+// Latency returns the cell's pipeline latency in clock cycles: the K-UFPU
+// chain plus one BFPU cycle (the two BFPUs operate in parallel).
+func (c *Cell) Latency() uint64 {
+	return c.u1.Latency() + filter.BFPUCycles
+}
+
+// ResetState resets the runtime state of the cell's stateful units.
+func (c *Cell) ResetState() {
+	c.u1.ResetState()
+	c.u2.ResetState()
+}

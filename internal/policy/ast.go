@@ -1,0 +1,266 @@
+// Package policy implements Thanos's filter-policy abstraction (§4): a
+// small expression language over the relational resource table, built from
+// the five unary and four binary filter operators, with parallel chaining
+// (top-K / K-sample), serial chaining, and conditional fallbacks.
+//
+// A Policy is an AST over named table attributes. It can be
+//
+//   - parsed from the textual DSL (Parse),
+//   - interpreted directly against an SMBM (NewInterp), which serves as the
+//     semantic oracle, and
+//   - compiled onto the programmable serial chain pipeline (Compile), which
+//     performs operator placement, carry insertion and crossbar routing —
+//     the "configured at compile time" step of §5.3.2.
+package policy
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/filter"
+)
+
+// Expr is a node of a policy expression DAG. Shared subexpressions (bound
+// with let in the DSL, or reused *Unary/*Binary pointers when building the
+// AST by hand) are evaluated once and fanned out.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// Table is the leaf referring to the full resource table (every resource
+// currently present in the SMBM).
+type Table struct{}
+
+func (*Table) exprNode()      {}
+func (*Table) String() string { return "table" }
+
+// Unary applies a unary filter operator (§4.1.1) to Input. K > 1 denotes a
+// parallel chain of K identical operators (§4.2.1): top-K for min/max, K
+// distinct samples for random. Attr names a table attribute and is resolved
+// against a Schema at interpret/compile time.
+type Unary struct {
+	Op    filter.UnaryOp
+	K     int // parallel chain length; 0 means 1
+	Attr  string
+	Rel   filter.RelOp
+	Val   int64
+	Seed  uint16 // LFSR seed for random; 0 picks a default
+	Input Expr
+}
+
+func (*Unary) exprNode() {}
+
+func (u *Unary) String() string {
+	k := ""
+	if u.K > 1 {
+		k = fmt.Sprintf("%d-", u.K)
+	}
+	switch u.Op {
+	case filter.UPredicate:
+		return fmt.Sprintf("%spred(%s, %s %s %d)", k, u.Input, u.Attr, u.Rel, u.Val)
+	case filter.UMin, filter.UMax:
+		return fmt.Sprintf("%s%s(%s, %s)", k, u.Op, u.Input, u.Attr)
+	case filter.URoundRobin:
+		return fmt.Sprintf("%srr(%s, %s)", k, u.Input, u.Attr)
+	case filter.URandom:
+		return fmt.Sprintf("%srandom(%s)", k, u.Input)
+	}
+	return fmt.Sprintf("%s%s(%s)", k, u.Op, u.Input)
+}
+
+// Binary merges two subexpressions with a binary filter operator (§4.1.2).
+type Binary struct {
+	Op          filter.BinaryOp
+	Choice      uint8 // for BNoOp (2:1 MUX)
+	Left, Right Expr
+}
+
+func (*Binary) exprNode() {}
+
+func (b *Binary) String() string {
+	name := map[filter.BinaryOp]string{
+		filter.BUnion: "union", filter.BIntersect: "intersect", filter.BDiff: "diff",
+	}[b.Op]
+	if b.Op == filter.BNoOp {
+		return fmt.Sprintf("mux%d(%s, %s)", b.Choice, b.Left, b.Right)
+	}
+	return fmt.Sprintf("%s(%s, %s)", name, b.Left, b.Right)
+}
+
+// Output is one named result of a policy.
+type Output struct {
+	Name string
+	Expr Expr
+}
+
+// Policy is a named set of outputs over one resource table. FallbackOf
+// optionally records conditional semantics (§4.2.3): if FallbackOf[i] = j
+// (j ≠ -1), then when output i is empty the consumer should use output j
+// instead — the MUX implemented in the RMT stage right after the filter
+// module.
+type Policy struct {
+	Name       string
+	Outputs    []Output
+	FallbackOf []int // len(Outputs); -1 for "no fallback"
+}
+
+// Schema maps attribute names to SMBM metric dimensions: Attrs[i] is the
+// name of dimension i.
+type Schema struct {
+	Attrs []string
+}
+
+// Dim resolves an attribute name to its dimension index.
+func (s Schema) Dim(name string) (int, error) {
+	for i, a := range s.Attrs {
+		if a == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("policy: unknown attribute %q (have %s)", name, strings.Join(s.Attrs, ", "))
+}
+
+// Validate checks the policy's structure against a schema: known
+// attributes, sane K values, well-formed fallback indices, non-nil inputs.
+func (p *Policy) Validate(schema Schema) error {
+	if len(p.Outputs) == 0 {
+		return fmt.Errorf("policy %q: no outputs", p.Name)
+	}
+	if p.FallbackOf != nil && len(p.FallbackOf) != len(p.Outputs) {
+		return fmt.Errorf("policy %q: FallbackOf length %d != %d outputs", p.Name, len(p.FallbackOf), len(p.Outputs))
+	}
+	for i, fb := range p.FallbackOf {
+		if fb != -1 && (fb < 0 || fb >= len(p.Outputs) || fb == i) {
+			return fmt.Errorf("policy %q: output %d has invalid fallback %d", p.Name, i, fb)
+		}
+	}
+	seen := map[string]bool{}
+	for _, o := range p.Outputs {
+		if o.Name == "" {
+			return fmt.Errorf("policy %q: unnamed output", p.Name)
+		}
+		if seen[o.Name] {
+			return fmt.Errorf("policy %q: duplicate output %q", p.Name, o.Name)
+		}
+		seen[o.Name] = true
+		if err := validateExpr(o.Expr, schema, map[Expr]bool{}); err != nil {
+			return fmt.Errorf("policy %q output %q: %w", p.Name, o.Name, err)
+		}
+	}
+	return nil
+}
+
+func validateExpr(e Expr, schema Schema, visiting map[Expr]bool) error {
+	if e == nil {
+		return fmt.Errorf("nil expression")
+	}
+	if visiting[e] {
+		// Print only the node type: a cyclic node's String would recurse.
+		return fmt.Errorf("cycle in expression DAG at %T node", e)
+	}
+	switch n := e.(type) {
+	case *Table:
+		return nil
+	case *Unary:
+		if n.Op > filter.URandom {
+			return fmt.Errorf("invalid unary opcode %d", n.Op)
+		}
+		if n.K < 0 {
+			return fmt.Errorf("negative K in %s", n)
+		}
+		if n.Op.NeedsAttr() {
+			if _, err := schema.Dim(n.Attr); err != nil {
+				return err
+			}
+		}
+		visiting[e] = true
+		defer delete(visiting, e)
+		return validateExpr(n.Input, schema, visiting)
+	case *Binary:
+		if n.Op > filter.BDiff {
+			return fmt.Errorf("invalid binary opcode %d", n.Op)
+		}
+		if n.Choice > 1 {
+			return fmt.Errorf("invalid mux choice %d", n.Choice)
+		}
+		visiting[e] = true
+		defer delete(visiting, e)
+		if err := validateExpr(n.Left, schema, visiting); err != nil {
+			return err
+		}
+		return validateExpr(n.Right, schema, visiting)
+	default:
+		return fmt.Errorf("unknown expression type %T", e)
+	}
+}
+
+// Fallback is a convenience for the common conditional pattern "use primary
+// if non-empty, else fallback" (§4.2.3, Figure 14): it returns a policy with
+// two outputs and FallbackOf wired accordingly.
+func Fallback(name string, primary, fallback Expr) *Policy {
+	return &Policy{
+		Name: name,
+		Outputs: []Output{
+			{Name: "primary", Expr: primary},
+			{Name: "fallback", Expr: fallback},
+		},
+		FallbackOf: []int{1, -1},
+	}
+}
+
+// Simple returns a single-output policy.
+func Simple(name string, e Expr) *Policy {
+	return &Policy{Name: name, Outputs: []Output{{Name: "out", Expr: e}}, FallbackOf: []int{-1}}
+}
+
+// Convenience constructors used heavily by examples and tests.
+
+// Pred builds a predicate node attr rel val over in.
+func Pred(in Expr, attr string, rel filter.RelOp, val int64) *Unary {
+	return &Unary{Op: filter.UPredicate, Attr: attr, Rel: rel, Val: val, Input: in}
+}
+
+// Min builds a min node over in.
+func Min(in Expr, attr string) *Unary { return &Unary{Op: filter.UMin, Attr: attr, Input: in} }
+
+// Max builds a max node over in.
+func Max(in Expr, attr string) *Unary { return &Unary{Op: filter.UMax, Attr: attr, Input: in} }
+
+// TopKMin builds a parallel chain of k min operators (k smallest entries).
+func TopKMin(in Expr, attr string, k int) *Unary {
+	return &Unary{Op: filter.UMin, K: k, Attr: attr, Input: in}
+}
+
+// Random builds a uniform random selection over in.
+func Random(in Expr) *Unary { return &Unary{Op: filter.URandom, Input: in} }
+
+// SampleK builds a parallel chain of k random operators (k distinct
+// samples).
+func SampleK(in Expr, k int) *Unary { return &Unary{Op: filter.URandom, K: k, Input: in} }
+
+// RoundRobin builds a weighted round-robin selection over in, weighted by
+// attr.
+func RoundRobin(in Expr, attr string) *Unary {
+	return &Unary{Op: filter.URoundRobin, Attr: attr, Input: in}
+}
+
+// Intersect builds the intersection of exprs, folded left.
+func Intersect(exprs ...Expr) Expr { return fold(filter.BIntersect, exprs) }
+
+// Union builds the union of exprs, folded left.
+func Union(exprs ...Expr) Expr { return fold(filter.BUnion, exprs) }
+
+// Diff builds left − right.
+func Diff(left, right Expr) *Binary { return &Binary{Op: filter.BDiff, Left: left, Right: right} }
+
+func fold(op filter.BinaryOp, exprs []Expr) Expr {
+	if len(exprs) == 0 {
+		panic("policy: fold of zero expressions")
+	}
+	e := exprs[0]
+	for _, next := range exprs[1:] {
+		e = &Binary{Op: op, Left: e, Right: next}
+	}
+	return e
+}

@@ -1,0 +1,78 @@
+package policy_test
+
+import (
+	"fmt"
+
+	"repro/internal/pipeline"
+	"repro/internal/policy"
+	"repro/internal/smbm"
+)
+
+// ExampleParse shows the policy DSL for the paper's Figure 1 routing
+// policy: "from the set of all paths, select the path with delay < d and
+// utilization < u".
+func ExampleParse() {
+	p, err := policy.Parse(`
+policy figure1
+let ok = intersect(filter(table, delay < 3), filter(table, util < 600))
+out path = random(ok)
+out any  = random(table)
+fallback path -> any
+`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p.Name, len(p.Outputs))
+	fmt.Println(p.Outputs[0].Expr)
+	// Output:
+	// figure1 2
+	// random(intersect(pred(table, delay < 3), pred(table, util < 600)))
+}
+
+// ExampleCompile compiles a min-utilization (CONGA-style) policy onto the
+// default pipeline design point and executes one packet.
+func ExampleCompile() {
+	schema := policy.Schema{Attrs: []string{"util"}}
+	pol := policy.MustParse(`out best = min(table, util)`)
+	cc, err := policy.Compile(pol, schema, pipeline.DefaultParams())
+	if err != nil {
+		panic(err)
+	}
+	table := smbm.New(8, 1)
+	for id, util := range []int64{700, 250, 900} {
+		if err := table.Add(id, []int64{util}); err != nil {
+			panic(err)
+		}
+	}
+	pl, err := pipeline.New(table, cc.Config)
+	if err != nil {
+		panic(err)
+	}
+	outs, err := cc.Run(pl)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("least utilized path:", outs[0])
+	fmt.Println("pipeline latency (cycles):", pl.Latency())
+	// Output:
+	// least utilized path: {1}
+	// pipeline latency (cycles): 56
+}
+
+// ExampleModule runs the interpreted execution path for a top-K policy.
+func ExampleModule() {
+	schema := policy.Schema{Attrs: []string{"queue"}}
+	pol := policy.MustParse(`out best2 = minK(table, queue, 2)`)
+	m, err := policy.NewModule(8, schema, pol)
+	if err != nil {
+		panic(err)
+	}
+	for id, q := range []int64{9, 2, 7, 1} {
+		if err := m.Upsert(id, []int64{q}); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println(m.Exec()[0])
+	// Output:
+	// {1, 3}
+}

@@ -1,0 +1,220 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/filter"
+	"repro/internal/smbm"
+)
+
+// Interp evaluates a policy by direct AST interpretation against an SMBM,
+// using the same filter units the hardware pipeline is built from. It is the
+// semantic oracle the compiler is tested against, and it is also usable on
+// its own when pipeline shape constraints don't matter (e.g. inside the
+// network simulator's idealized switches).
+//
+// Stateful operators (round-robin, random) keep per-node state across Exec
+// calls, exactly as a configured hardware unit would across packets.
+type Interp struct {
+	table  *smbm.SMBM
+	schema Schema
+	policy *Policy
+	units  map[*Unary]*filter.KUFPU
+	bins   map[*Binary]*filter.BFPU
+}
+
+// NewInterp builds an interpreter for the policy over the given table. The
+// policy is validated against the schema; every unary node gets a dedicated
+// K-UFPU (with deterministic seeds assigned by AssignSeeds where the node
+// doesn't fix one) and every binary node a dedicated BFPU.
+func NewInterp(table *smbm.SMBM, schema Schema, p *Policy) (*Interp, error) {
+	if err := p.Validate(schema); err != nil {
+		return nil, err
+	}
+	if len(schema.Attrs) != table.NumMetrics() {
+		return nil, fmt.Errorf("policy: schema has %d attributes, table has %d metrics",
+			len(schema.Attrs), table.NumMetrics())
+	}
+	it := &Interp{
+		table:  table,
+		schema: schema,
+		policy: p,
+		units:  make(map[*Unary]*filter.KUFPU),
+		bins:   make(map[*Binary]*filter.BFPU),
+	}
+	seeds := AssignSeeds(p)
+	var build func(e Expr) error
+	build = func(e Expr) error {
+		switch n := e.(type) {
+		case *Table:
+			return nil
+		case *Unary:
+			if _, done := it.units[n]; done {
+				return nil
+			}
+			cfg, k, err := unaryConfig(n, it.schema, seeds)
+			if err != nil {
+				return err
+			}
+			u, err := filter.NewKUFPU(table, k, cfg)
+			if err != nil {
+				return err
+			}
+			it.units[n] = u
+			return build(n.Input)
+		case *Binary:
+			if _, done := it.bins[n]; done {
+				return nil
+			}
+			b, err := filter.NewBFPU(filter.BFPUConfig{Op: n.Op, Choice: n.Choice})
+			if err != nil {
+				return err
+			}
+			it.bins[n] = b
+			if err := build(n.Left); err != nil {
+				return err
+			}
+			return build(n.Right)
+		}
+		return fmt.Errorf("policy: unknown expression type %T", e)
+	}
+	for _, o := range p.Outputs {
+		if err := build(o.Expr); err != nil {
+			return nil, err
+		}
+	}
+	return it, nil
+}
+
+// unaryConfig converts a unary AST node into a UFPU configuration plus the
+// effective chain length.
+func unaryConfig(n *Unary, schema Schema, seeds map[*Unary]uint16) (filter.UFPUConfig, int, error) {
+	cfg := filter.UFPUConfig{Op: n.Op, Rel: n.Rel, Val: n.Val, Seed: seeds[n]}
+	if n.Op.NeedsAttr() {
+		dim, err := schema.Dim(n.Attr)
+		if err != nil {
+			return cfg, 0, err
+		}
+		cfg.Attr = dim
+	}
+	k := n.K
+	if k < 1 {
+		k = 1
+	}
+	return cfg, k, nil
+}
+
+// AssignSeeds returns a deterministic LFSR seed for every unary node in the
+// policy: the node's own Seed if non-zero, otherwise a seed derived from the
+// node's position in a depth-first, output-ordered traversal and a hash of
+// the policy name (so distinct policies draw decorrelated random streams).
+// Interpreter and compiler share this assignment so that stochastic
+// policies behave identically under both.
+func AssignSeeds(p *Policy) map[*Unary]uint16 {
+	seeds := make(map[*Unary]uint16)
+	visited := make(map[Expr]bool)
+	idx := uint16(0)
+	var nameHash uint16
+	for _, ch := range p.Name {
+		nameHash = nameHash*31 + uint16(ch)
+	}
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		if visited[e] {
+			return
+		}
+		visited[e] = true
+		switch n := e.(type) {
+		case *Unary:
+			idx++
+			if n.Seed != 0 {
+				seeds[n] = n.Seed
+			} else {
+				// Spread defaults so sibling chains and distinct policies
+				// draw unrelated streams.
+				seeds[n] = idx*2654 + nameHash*3 + 1
+			}
+			walk(n.Input)
+		case *Binary:
+			walk(n.Left)
+			walk(n.Right)
+		}
+	}
+	for _, o := range p.Outputs {
+		walk(o.Expr)
+	}
+	return seeds
+}
+
+// Policy returns the interpreted policy.
+func (it *Interp) Policy() *Policy { return it.policy }
+
+// Exec evaluates every output against the table's current contents and
+// returns one table (bit vector) per output, in output order. Shared
+// subexpressions are evaluated once per call.
+func (it *Interp) Exec() []*bitvec.Vector {
+	memo := make(map[Expr]*bitvec.Vector)
+	var eval func(e Expr) *bitvec.Vector
+	eval = func(e Expr) *bitvec.Vector {
+		if v, ok := memo[e]; ok {
+			return v
+		}
+		var v *bitvec.Vector
+		switch n := e.(type) {
+		case *Table:
+			v = it.table.Members()
+		case *Unary:
+			k := n.K
+			if k < 1 {
+				k = 1
+			}
+			v = it.units[n].Exec(eval(n.Input), k)
+		case *Binary:
+			v = it.bins[n].Exec(eval(n.Left), eval(n.Right))
+		}
+		memo[e] = v
+		return v
+	}
+	outs := make([]*bitvec.Vector, len(it.policy.Outputs))
+	for i, o := range it.policy.Outputs {
+		outs[i] = eval(o.Expr)
+	}
+	return outs
+}
+
+// ResetState resets all stateful units (round-robin pointers, LFSRs).
+func (it *Interp) ResetState() {
+	keys := make([]*Unary, 0, len(it.units))
+	for n := range it.units {
+		keys = append(keys, n)
+	}
+	// Deterministic order is irrelevant for reset but keeps behaviour
+	// reproducible under -race scheduling of tests.
+	sort.Slice(keys, func(i, j int) bool { return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j]) })
+	for _, n := range keys {
+		it.units[n].ResetState()
+	}
+}
+
+// Resolve applies the policy's fallback (MUX) semantics to raw outputs: it
+// returns the table for output i, or — when that table is empty — the table
+// of its fallback output, following chains. This is the job Figure 14
+// assigns to the RMT match-action stage immediately after the filter module.
+func Resolve(p *Policy, outs []*bitvec.Vector, i int) *bitvec.Vector {
+	if len(outs) != len(p.Outputs) {
+		panic(fmt.Sprintf("policy: %d outputs for policy with %d", len(outs), len(p.Outputs)))
+	}
+	if i < 0 || i >= len(outs) {
+		panic(fmt.Sprintf("policy: output index %d out of range", i))
+	}
+	seen := make(map[int]bool)
+	for {
+		if outs[i].Any() || p.FallbackOf == nil || p.FallbackOf[i] == -1 || seen[i] {
+			return outs[i]
+		}
+		seen[i] = true
+		i = p.FallbackOf[i]
+	}
+}

@@ -1,0 +1,59 @@
+package policy
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/smbm"
+)
+
+// Module bundles a Thanos filter module for runtime use: an SMBM resource
+// table plus a policy evaluated with the real filter units (semantically
+// identical to the compiled hardware pipeline — see
+// TestCompiledMatchesInterp). Resources are abstract ids the caller maps to
+// concrete objects (ports, paths, servers).
+type Module struct {
+	Table  *smbm.SMBM
+	Policy *Policy
+	interp *Interp
+}
+
+// NewModule builds a module with capacity resources, the given attribute
+// schema, and a policy (typically from Parse).
+func NewModule(capacity int, schema Schema, pol *Policy) (*Module, error) {
+	table := smbm.New(capacity, len(schema.Attrs))
+	it, err := NewInterp(table, schema, pol)
+	if err != nil {
+		return nil, err
+	}
+	return &Module{Table: table, Policy: pol, interp: it}, nil
+}
+
+// Upsert installs or refreshes a resource's metrics — the operation probe
+// processing performs (§3 of the paper).
+func (m *Module) Upsert(id int, vals []int64) error {
+	return m.Table.Upsert(id, vals)
+}
+
+// Remove deletes a resource from the table (e.g. a failed server).
+func (m *Module) Remove(id int) error {
+	return m.Table.Delete(id)
+}
+
+// Decide executes the policy for one packet and returns the selected
+// resource id from output 0 (after fallback resolution). ok is false when
+// even the fallback produced an empty table.
+func (m *Module) Decide() (id int, ok bool) {
+	outs := m.interp.Exec()
+	res := Resolve(m.Policy, outs, 0)
+	if !res.Any() {
+		return 0, false
+	}
+	return res.FirstSet(), true
+}
+
+// Exec evaluates the policy and returns the raw output tables, for callers
+// that need more than a single id (e.g. diagnosis queries that filter a
+// set).
+func (m *Module) Exec() []*bitvec.Vector { return m.interp.Exec() }
+
+// ResetState resets the stateful filter units (round-robin, LFSRs).
+func (m *Module) ResetState() { m.interp.ResetState() }

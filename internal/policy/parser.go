@@ -1,0 +1,446 @@
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/filter"
+)
+
+// Parse reads a policy from Thanos's textual policy DSL. The language is a
+// direct rendering of §4's abstractions:
+//
+//	# resource-aware L4 load balancing (Policy 2, §7.2.2)
+//	policy lb2
+//	let ok = intersect(filter(table, cpu < 70),
+//	                   filter(table, mem > 1),
+//	                   filter(table, bw > 2))
+//	out primary = random(ok)
+//	out backup  = random(table)
+//	fallback primary -> backup
+//
+// Statements:
+//
+//	policy NAME              — names the policy (optional, once, first)
+//	let NAME = EXPR          — binds a shared subexpression (DAG node)
+//	out NAME = EXPR          — declares a policy output
+//	fallback A -> B          — when output A is empty, use output B (§4.2.3)
+//
+// Expressions:
+//
+//	table                    — the full resource table
+//	filter(E, attr REL n)    — predicate; REL ∈ < > <= >= == !=
+//	min(E, attr)  max(E, attr)
+//	minK(E, attr, k)  maxK(E, attr, k)   — top-k via parallel chaining
+//	random(E)  sample(E, k)              — 1 or k distinct uniform picks
+//	rr(E, attr)              — weighted round-robin (weight = attr)
+//	union(E, E, ...)  intersect(E, E, ...)  diff(E, E)
+//
+// Comments run from '#' to end of line. Whitespace and newlines are
+// insignificant except for terminating comments.
+func Parse(src string) (*Policy, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	pr := &parser{toks: toks, lets: map[string]Expr{}, table: &Table{}}
+	return pr.parsePolicy()
+}
+
+// MustParse is Parse that panics on error, for tests and fixed policies.
+func MustParse(src string) *Policy {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type tokKind uint8
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokPunct // ( ) , = -> and relational operators
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		ch := src[i]
+		switch {
+		case ch == '\n':
+			line++
+			i++
+		case ch == ' ' || ch == '\t' || ch == '\r':
+			i++
+		case ch == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(ch)) || ch == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], line})
+			i = j
+		case unicode.IsDigit(rune(ch)) || (ch == '-' && i+1 < len(src) && unicode.IsDigit(rune(src[i+1]))):
+			j := i + 1
+			for j < len(src) && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], line})
+			i = j
+		case strings.ContainsRune("(),=<>!-", rune(ch)):
+			// Multi-char operators first.
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "->", "<=", ">=", "==", "!=":
+				toks = append(toks, token{tokPunct, two, line})
+				i += 2
+			default:
+				if ch == '!' || ch == '-' {
+					return nil, fmt.Errorf("policy: line %d: unexpected %q", line, string(ch))
+				}
+				toks = append(toks, token{tokPunct, string(ch), line})
+				i++
+			}
+		default:
+			return nil, fmt.Errorf("policy: line %d: unexpected character %q", line, string(ch))
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}
+
+type parser struct {
+	toks  []token
+	pos   int
+	lets  map[string]Expr
+	table *Table
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("policy: line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(text string) error {
+	t := p.next()
+	if t.kind != tokPunct || t.text != text {
+		return p.errf(t, "expected %q, got %q", text, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", p.errf(t, "expected identifier, got %q", t.text)
+	}
+	return t.text, nil
+}
+
+func (p *parser) parsePolicy() (*Policy, error) {
+	pol := &Policy{Name: "anonymous"}
+	type fb struct{ from, to string }
+	var fallbacks []fb
+
+	for p.peek().kind != tokEOF {
+		t := p.next()
+		if t.kind != tokIdent {
+			return nil, p.errf(t, "expected statement keyword, got %q", t.text)
+		}
+		switch t.text {
+		case "policy":
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			pol.Name = name
+		case "let":
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := p.lets[name]; dup {
+				return nil, p.errf(t, "duplicate let binding %q", name)
+			}
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			p.lets[name] = e
+		case "out":
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			pol.Outputs = append(pol.Outputs, Output{Name: name, Expr: e})
+		case "fallback":
+			from, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("->"); err != nil {
+				return nil, err
+			}
+			to, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			fallbacks = append(fallbacks, fb{from, to})
+		default:
+			return nil, p.errf(t, "unknown statement %q (want policy/let/out/fallback)", t.text)
+		}
+	}
+
+	pol.FallbackOf = make([]int, len(pol.Outputs))
+	for i := range pol.FallbackOf {
+		pol.FallbackOf[i] = -1
+	}
+	outIdx := func(name string) (int, bool) {
+		for i, o := range pol.Outputs {
+			if o.Name == name {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+	for _, f := range fallbacks {
+		from, ok1 := outIdx(f.from)
+		to, ok2 := outIdx(f.to)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("policy: fallback references unknown output (%s -> %s)", f.from, f.to)
+		}
+		pol.FallbackOf[from] = to
+	}
+	if len(pol.Outputs) == 0 {
+		return nil, fmt.Errorf("policy: no outputs declared")
+	}
+	return pol, nil
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, p.errf(t, "expected expression, got %q", t.text)
+	}
+	switch t.text {
+	case "table":
+		return p.table, nil
+	case "filter":
+		return p.parseFilter(t)
+	case "min", "max":
+		return p.parseMinMax(t, t.text == "min", 0)
+	case "minK", "maxK", "mink", "maxk":
+		return p.parseMinMax(t, strings.HasPrefix(t.text, "min"), 1)
+	case "random":
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		in, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &Unary{Op: filter.URandom, Input: in}, nil
+	case "sample":
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		in, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		k, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &Unary{Op: filter.URandom, K: k, Input: in}, nil
+	case "rr":
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		in, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		attr, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &Unary{Op: filter.URoundRobin, Attr: attr, Input: in}, nil
+	case "union", "intersect":
+		op := filter.BUnion
+		if t.text == "intersect" {
+			op = filter.BIntersect
+		}
+		args, err := p.parseArgs(2, -1)
+		if err != nil {
+			return nil, err
+		}
+		return fold(op, args), nil
+	case "diff":
+		args, err := p.parseArgs(2, 2)
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: filter.BDiff, Left: args[0], Right: args[1]}, nil
+	default:
+		if e, ok := p.lets[t.text]; ok {
+			return e, nil
+		}
+		return nil, p.errf(t, "unknown function or binding %q", t.text)
+	}
+}
+
+func (p *parser) parseFilter(t token) (Expr, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	in, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	attr, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	relTok := p.next()
+	if relTok.kind != tokPunct {
+		return nil, p.errf(relTok, "expected relational operator, got %q", relTok.text)
+	}
+	rel, err := filter.ParseRelOp(relTok.text)
+	if err != nil {
+		return nil, p.errf(relTok, "%v", err)
+	}
+	val, err := p.parseInt()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return &Unary{Op: filter.UPredicate, Attr: attr, Rel: rel, Val: int64(val), Input: in}, nil
+}
+
+// parseMinMax handles min/max (extraArgs=0) and minK/maxK (extraArgs=1).
+func (p *parser) parseMinMax(t token, isMin bool, extraArgs int) (Expr, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	in, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	attr, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	if extraArgs == 1 {
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		k, err = p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	op := filter.UMax
+	if isMin {
+		op = filter.UMin
+	}
+	return &Unary{Op: op, K: k, Attr: attr, Input: in}, nil
+}
+
+func (p *parser) parseArgs(minArgs, maxArgs int) ([]Expr, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+		t := p.next()
+		if t.kind == tokPunct && t.text == "," {
+			continue
+		}
+		if t.kind == tokPunct && t.text == ")" {
+			break
+		}
+		return nil, p.errf(t, "expected ',' or ')', got %q", t.text)
+	}
+	if len(args) < minArgs {
+		return nil, fmt.Errorf("policy: need at least %d arguments, got %d", minArgs, len(args))
+	}
+	if maxArgs > 0 && len(args) > maxArgs {
+		return nil, fmt.Errorf("policy: need at most %d arguments, got %d", maxArgs, len(args))
+	}
+	return args, nil
+}
+
+func (p *parser) parseInt() (int, error) {
+	t := p.next()
+	if t.kind != tokNumber {
+		return 0, p.errf(t, "expected number, got %q", t.text)
+	}
+	v, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, p.errf(t, "bad number %q: %v", t.text, err)
+	}
+	return v, nil
+}

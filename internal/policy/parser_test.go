@@ -1,0 +1,173 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/filter"
+)
+
+func TestParseMinimal(t *testing.T) {
+	p, err := Parse(`out x = random(table)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "anonymous" || len(p.Outputs) != 1 || p.Outputs[0].Name != "x" {
+		t.Fatalf("policy = %+v", p)
+	}
+	u, ok := p.Outputs[0].Expr.(*Unary)
+	if !ok || u.Op != filter.URandom {
+		t.Fatalf("expr = %s", p.Outputs[0].Expr)
+	}
+	if _, ok := u.Input.(*Table); !ok {
+		t.Fatalf("input = %s", u.Input)
+	}
+}
+
+func TestParseFullPolicy(t *testing.T) {
+	src := `
+# resource-aware L4 load balancing (Policy 2, section 7.2.2)
+policy lb2
+let ok = intersect(filter(table, cpu < 70),
+                   filter(table, mem > 1),
+                   filter(table, bw > 2))
+out primary = random(ok)
+out backup  = random(table)
+fallback primary -> backup
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "lb2" {
+		t.Errorf("name = %q", p.Name)
+	}
+	if len(p.Outputs) != 2 {
+		t.Fatalf("outputs = %d", len(p.Outputs))
+	}
+	if p.FallbackOf[0] != 1 || p.FallbackOf[1] != -1 {
+		t.Errorf("FallbackOf = %v", p.FallbackOf)
+	}
+	// primary = random(intersect(intersect(p1,p2),p3))
+	u := p.Outputs[0].Expr.(*Unary)
+	b := u.Input.(*Binary)
+	if b.Op != filter.BIntersect {
+		t.Errorf("outer op = %s", b.Op)
+	}
+	inner := b.Left.(*Binary)
+	if inner.Op != filter.BIntersect {
+		t.Errorf("inner op = %s", inner.Op)
+	}
+	pr := inner.Left.(*Unary)
+	if pr.Op != filter.UPredicate || pr.Attr != "cpu" || pr.Rel != filter.LT || pr.Val != 70 {
+		t.Errorf("first predicate = %s", pr)
+	}
+}
+
+func TestParseLetSharing(t *testing.T) {
+	src := `
+let base = filter(table, util < 50)
+out a = min(base, delay)
+out b = max(base, delay)
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Outputs[0].Expr.(*Unary)
+	b := p.Outputs[1].Expr.(*Unary)
+	if a.Input != b.Input {
+		t.Fatal("let binding should produce a shared DAG node")
+	}
+}
+
+func TestParseAllFunctions(t *testing.T) {
+	src := `
+out a = minK(table, q, 3)
+out b = maxK(table, q, 2)
+out c = sample(table, 4)
+out d = rr(table, w)
+out e = diff(table, filter(table, q == 0))
+out f = union(filter(table, q != 1), filter(table, q <= 5), filter(table, q >= 2))
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Outputs[0].Expr.(*Unary)
+	if a.Op != filter.UMin || a.K != 3 {
+		t.Errorf("a = %s (K=%d)", a, a.K)
+	}
+	c := p.Outputs[2].Expr.(*Unary)
+	if c.Op != filter.URandom || c.K != 4 {
+		t.Errorf("c = %s", c)
+	}
+	d := p.Outputs[3].Expr.(*Unary)
+	if d.Op != filter.URoundRobin || d.Attr != "w" {
+		t.Errorf("d = %s", d)
+	}
+	e := p.Outputs[4].Expr.(*Binary)
+	if e.Op != filter.BDiff {
+		t.Errorf("e = %s", e)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"empty", ``, "no outputs"},
+		{"badStatement", `frobnicate x`, "unknown statement"},
+		{"unknownFunc", `out a = frob(table)`, "unknown function"},
+		{"badRelop", `out a = filter(table, x <> 3)`, "expected"},
+		{"missingParen", `out a = random(table`, "expected"},
+		{"badFallback", "out a = random(table)\nfallback a -> nosuch", "unknown output"},
+		{"dupLet", "let x = table\nlet x = table\nout a = random(x)", "duplicate let"},
+		{"diffArity", `out a = diff(table)`, "at least 2 arguments"},
+		{"strayChar", `out a = random(table) $`, "unexpected"},
+		{"bareMinus", `out a = filter(table, x < -)`, "unexpected"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	p, err := Parse(`out a = filter(table, delta > -5)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := p.Outputs[0].Expr.(*Unary)
+	if u.Val != -5 {
+		t.Errorf("Val = %d, want -5", u.Val)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse of garbage should panic")
+		}
+	}()
+	MustParse(`out`)
+}
+
+func TestExprStrings(t *testing.T) {
+	p := MustParse(`
+let f = filter(table, cpu < 70)
+out a = random(intersect(f, minK(table, q, 2)))
+`)
+	s := p.Outputs[0].Expr.String()
+	for _, want := range []string{"random", "intersect", "pred", "cpu < 70", "2-min"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package sim is the discrete-event simulation kernel underneath the
+// packet-level network simulator (§7.2.1): a time-ordered event queue with
+// deterministic FIFO tie-breaking, nanosecond-resolution virtual time, and a
+// seeded random source, so every experiment in the harness is exactly
+// reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is virtual simulation time in nanoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+// String renders the time with a readable unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	}
+	return fmt.Sprintf("%dns", int64(t))
+}
+
+// Seconds converts to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+type event struct {
+	at  Time
+	seq uint64 // FIFO tie-break for simultaneous events
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+// Scheduler executes events in virtual-time order. The zero value is not
+// usable; construct with New.
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	rng     *rand.Rand
+}
+
+// New returns a scheduler at time zero with a deterministic random source.
+func New(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Rand returns the scheduler's deterministic random source.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a modelling bug.
+func (s *Scheduler) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (s *Scheduler) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	s.At(s.now+d, fn)
+}
+
+// Pending returns the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Stop makes the current Run/RunUntil call return after the in-progress
+// event completes.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Run executes events until the queue empties or Stop is called, leaving
+// Now at the time of the last executed event. It returns the number of
+// events executed.
+func (s *Scheduler) Run() int { return s.run(Time(1<<62-1), false) }
+
+// RunUntil executes events with timestamps ≤ deadline, stopping when the
+// queue empties, Stop is called, or the next event lies beyond the
+// deadline. Unless stopped early, Now finishes at the deadline. It returns
+// the number of events executed.
+func (s *Scheduler) RunUntil(deadline Time) int { return s.run(deadline, true) }
+
+func (s *Scheduler) run(deadline Time, advance bool) int {
+	s.stopped = false
+	count := 0
+	for len(s.queue) > 0 && !s.stopped {
+		next := s.queue[0]
+		if next.at > deadline {
+			s.now = deadline
+			return count
+		}
+		heap.Pop(&s.queue)
+		s.now = next.at
+		next.fn()
+		count++
+	}
+	if advance && !s.stopped && s.now < deadline {
+		s.now = deadline
+	}
+	return count
+}

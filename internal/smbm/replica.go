@@ -1,0 +1,158 @@
+package smbm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrWriteContention is returned when two different pipelines attempt to
+// write the same resource entry in the same clock cycle, the contention case
+// §5.1.5 shows is avoided in practice by routing a resource's probe packets
+// through a single pipeline.
+var ErrWriteContention = errors.New("smbm: concurrent writes to same resource entry in one cycle")
+
+// ReplicaGroup models Thanos's integration with multi-pipelined data planes
+// (§5.1.5): one SMBM replica per switch pipeline, with every write applied
+// synchronously to all replicas so that probe packets never need to be
+// re-circulated. The group tracks, per logical cycle, which resource entries
+// have been written, and rejects a second same-cycle write to the same entry
+// from a different pipeline (write contention).
+type ReplicaGroup struct {
+	replicas []*SMBM
+	cycle    uint64
+	// writers maps resource id -> pipeline that wrote it this cycle.
+	writers map[int]int
+}
+
+// NewReplicaGroup creates numPipelines replicas, each an SMBM with capacity
+// n and m metrics. It panics if numPipelines <= 0.
+func NewReplicaGroup(numPipelines, n, m int) *ReplicaGroup {
+	if numPipelines <= 0 {
+		panic("smbm: replica group needs at least one pipeline")
+	}
+	g := &ReplicaGroup{
+		replicas: make([]*SMBM, numPipelines),
+		writers:  make(map[int]int),
+	}
+	for i := range g.replicas {
+		g.replicas[i] = New(n, m)
+	}
+	return g
+}
+
+// NumPipelines returns the number of replicas.
+func (g *ReplicaGroup) NumPipelines() int { return len(g.replicas) }
+
+// Replica returns the SMBM owned by pipeline p, the instance that pipeline's
+// filter module reads every cycle. It panics if p is out of range.
+func (g *ReplicaGroup) Replica(p int) *SMBM {
+	g.checkPipeline(p)
+	return g.replicas[p]
+}
+
+// AdvanceCycle moves the group to the next logical clock cycle, clearing the
+// per-cycle write-contention tracking.
+func (g *ReplicaGroup) AdvanceCycle() {
+	g.cycle++
+	for k := range g.writers {
+		delete(g.writers, k)
+	}
+}
+
+// Cycle returns the current logical cycle number.
+func (g *ReplicaGroup) Cycle() uint64 { return g.cycle }
+
+// Add applies an add for resource id, issued from pipeline from, to every
+// replica synchronously. A same-cycle write to the same id from a different
+// pipeline fails with ErrWriteContention before touching any replica.
+func (g *ReplicaGroup) Add(from, id int, metrics []int64) error {
+	if err := g.claim(from, id); err != nil {
+		return err
+	}
+	// Validate against one replica first so a failure leaves all replicas
+	// untouched and identical.
+	if err := g.replicas[0].Add(id, metrics); err != nil {
+		return err
+	}
+	for _, r := range g.replicas[1:] {
+		if err := r.Add(id, metrics); err != nil {
+			panic("smbm: replica divergence on add: " + err.Error())
+		}
+	}
+	return nil
+}
+
+// Delete applies a delete for resource id from pipeline from to all
+// replicas synchronously, with the same contention semantics as Add.
+func (g *ReplicaGroup) Delete(from, id int) error {
+	if err := g.claim(from, id); err != nil {
+		return err
+	}
+	if err := g.replicas[0].Delete(id); err != nil {
+		return err
+	}
+	for _, r := range g.replicas[1:] {
+		if err := r.Delete(id); err != nil {
+			panic("smbm: replica divergence on delete: " + err.Error())
+		}
+	}
+	return nil
+}
+
+// Update applies an update (delete + add, §5.1.2) from pipeline from to all
+// replicas synchronously.
+func (g *ReplicaGroup) Update(from, id int, metrics []int64) error {
+	if err := g.claim(from, id); err != nil {
+		return err
+	}
+	if err := g.replicas[0].Update(id, metrics); err != nil {
+		return err
+	}
+	for _, r := range g.replicas[1:] {
+		if err := r.Update(id, metrics); err != nil {
+			panic("smbm: replica divergence on update: " + err.Error())
+		}
+	}
+	return nil
+}
+
+// InSync reports whether all replicas hold identical contents, the
+// correctness condition for the synchronous-update design.
+func (g *ReplicaGroup) InSync() bool {
+	base := g.replicas[0]
+	ids := base.Members().IDs()
+	for _, r := range g.replicas[1:] {
+		if r.Size() != base.Size() {
+			return false
+		}
+		for _, id := range ids {
+			a, okA := base.Metrics(id)
+			b, okB := r.Metrics(id)
+			if okA != okB {
+				return false
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func (g *ReplicaGroup) claim(from, id int) error {
+	g.checkPipeline(from)
+	if prev, dirty := g.writers[id]; dirty && prev != from {
+		return fmt.Errorf("%w: id %d written by pipelines %d and %d in cycle %d",
+			ErrWriteContention, id, prev, from, g.cycle)
+	}
+	g.writers[id] = from
+	return nil
+}
+
+func (g *ReplicaGroup) checkPipeline(p int) {
+	if p < 0 || p >= len(g.replicas) {
+		panic(fmt.Sprintf("smbm: pipeline %d out of range [0,%d)", p, len(g.replicas)))
+	}
+}

@@ -1,0 +1,351 @@
+// Package smbm implements the Sorted Multidimensional Bidirectional Map
+// (SMBM), the hardware data structure Thanos uses to store the resource
+// table (§5.1 of the paper).
+//
+// An SMBM with capacity N and M metrics holds up to N resources, each with a
+// unique id in [0, N) and M integer metric values. It maintains M+1
+// dimensions: the resource-id dimension plus one dimension per metric. Every
+// dimension is a flat sorted list (increasing order; FIFO tie-break for
+// equal values), and the structure keeps bidirectional pointers between the
+// id dimension and each metric dimension, so a resource's id maps to each of
+// its metric entries and each metric entry maps back to its id.
+//
+// The functional model mirrors the hardware costs: add and delete each take
+// exactly WriteCycles (2) clock cycles and the structure can be read in full
+// every cycle. Writes are atomic — the visible state always corresponds to a
+// completed operation, matching §5.1.4.
+package smbm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/hw"
+)
+
+// WriteCycles is the latency of an add or delete operation in clock cycles
+// (§5.1.3: "The latency of both write operations is two clock cycles").
+const WriteCycles = 2
+
+// Errors returned by SMBM write operations.
+var (
+	ErrFull         = errors.New("smbm: table full")
+	ErrDuplicateID  = errors.New("smbm: resource id already present")
+	ErrNotFound     = errors.New("smbm: resource id not present")
+	ErrBadID        = errors.New("smbm: resource id out of range")
+	ErrMetricsArity = errors.New("smbm: wrong number of metric values")
+)
+
+// idEntry is one slot of the resource-id dimension. metricPos[j] is the
+// position of this resource's value within metric dimension j (the forward
+// id → metric pointer).
+type idEntry struct {
+	id        int
+	metricPos []int
+}
+
+// metricEntry is one slot of a metric dimension. idPos is the position of
+// the owning resource within the id dimension (the reverse metric → id
+// pointer).
+type metricEntry struct {
+	val   int64
+	idPos int
+}
+
+// SMBM is a sorted multidimensional bidirectional map. It is not safe for
+// concurrent use; the multi-pipeline replication scheme of §5.1.5 is modeled
+// by ReplicaGroup.
+type SMBM struct {
+	n, m    int
+	ids     []idEntry
+	metrics [][]metricEntry
+	clock   hw.Clock
+}
+
+// New returns an empty SMBM with capacity n resources and m metric
+// dimensions. It panics if n <= 0 or m < 0.
+func New(n, m int) *SMBM {
+	if n <= 0 {
+		panic("smbm: capacity must be positive")
+	}
+	if m < 0 {
+		panic("smbm: metric count must be non-negative")
+	}
+	s := &SMBM{n: n, m: m, metrics: make([][]metricEntry, m)}
+	return s
+}
+
+// Capacity returns N, the maximum number of resources (and the width of bit
+// vectors that index this table).
+func (s *SMBM) Capacity() int { return s.n }
+
+// NumMetrics returns M, the number of metric dimensions.
+func (s *SMBM) NumMetrics() int { return s.m }
+
+// Size returns the number of resources currently stored.
+func (s *SMBM) Size() int { return len(s.ids) }
+
+// Cycles returns the cumulative clock cycles consumed by write operations.
+func (s *SMBM) Cycles() uint64 { return s.clock.Cycles() }
+
+// Add inserts a new resource with the given id and metric values, keeping
+// every dimension sorted and all bidirectional pointers consistent. It
+// consumes exactly WriteCycles cycles on success. The paper's two-phase
+// implementation (§5.1.2) — cycle 1: parallel search of all lists for
+// insertion points; cycle 2: parallel shift-and-write — is modeled by
+// computing all insertion points before mutating anything.
+func (s *SMBM) Add(id int, metrics []int64) error {
+	if id < 0 || id >= s.n {
+		return fmt.Errorf("%w: %d not in [0,%d)", ErrBadID, id, s.n)
+	}
+	if len(metrics) != s.m {
+		return fmt.Errorf("%w: got %d, want %d", ErrMetricsArity, len(metrics), s.m)
+	}
+	if len(s.ids) >= s.n {
+		return ErrFull
+	}
+	if _, ok := s.findID(id); ok {
+		return fmt.Errorf("%w: %d", ErrDuplicateID, id)
+	}
+
+	// Cycle 1: search every dimension in parallel for insertion points.
+	// FIFO tie-break: a new value goes after all existing equal values, so
+	// we search for the first strictly greater entry.
+	idPos := sort.Search(len(s.ids), func(i int) bool { return s.ids[i].id > id })
+	mPos := make([]int, s.m)
+	for j := 0; j < s.m; j++ {
+		v := metrics[j]
+		col := s.metrics[j]
+		mPos[j] = sort.Search(len(col), func(i int) bool { return col[i].val > v })
+	}
+
+	// Cycle 2: shift and write all dimensions, updating pointers.
+	// Existing id entries at or after idPos move one slot right, so every
+	// metric entry pointing at them must be bumped.
+	for j := range s.metrics {
+		for i := range s.metrics[j] {
+			if s.metrics[j][i].idPos >= idPos {
+				s.metrics[j][i].idPos++
+			}
+		}
+	}
+	entry := idEntry{id: id, metricPos: mPos}
+	s.ids = append(s.ids, idEntry{})
+	copy(s.ids[idPos+1:], s.ids[idPos:])
+	s.ids[idPos] = entry
+
+	for j := 0; j < s.m; j++ {
+		p := mPos[j]
+		// Existing metric entries at or after p move right; forward
+		// pointers into this dimension must be bumped (the new entry's own
+		// pointer was computed pre-shift and is already correct).
+		for i := range s.ids {
+			if i != idPos && s.ids[i].metricPos[j] >= p {
+				s.ids[i].metricPos[j]++
+			}
+		}
+		col := s.metrics[j]
+		col = append(col, metricEntry{})
+		copy(col[p+1:], col[p:])
+		col[p] = metricEntry{val: metrics[j], idPos: idPos}
+		s.metrics[j] = col
+	}
+
+	s.clock.Tick(WriteCycles)
+	return nil
+}
+
+// Delete removes the resource with the given id. It consumes exactly
+// WriteCycles cycles on success.
+func (s *SMBM) Delete(id int) error {
+	idPos, ok := s.findID(id)
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+
+	// Remove this resource's entry from each metric dimension, shifting
+	// left and fixing forward pointers.
+	for j := 0; j < s.m; j++ {
+		p := s.ids[idPos].metricPos[j]
+		col := s.metrics[j]
+		copy(col[p:], col[p+1:])
+		s.metrics[j] = col[:len(col)-1]
+		for i := range s.ids {
+			if s.ids[i].metricPos[j] > p {
+				s.ids[i].metricPos[j]--
+			}
+		}
+	}
+	// Remove from the id dimension, fixing reverse pointers.
+	copy(s.ids[idPos:], s.ids[idPos+1:])
+	s.ids = s.ids[:len(s.ids)-1]
+	for j := range s.metrics {
+		for i := range s.metrics[j] {
+			if s.metrics[j][i].idPos > idPos {
+				s.metrics[j][i].idPos--
+			}
+		}
+	}
+
+	s.clock.Tick(WriteCycles)
+	return nil
+}
+
+// Update replaces the metric values of an existing resource. Per §5.1.2 it
+// is composed of a delete followed by an add, consuming 2×WriteCycles.
+func (s *SMBM) Update(id int, metrics []int64) error {
+	if len(metrics) != s.m {
+		return fmt.Errorf("%w: got %d, want %d", ErrMetricsArity, len(metrics), s.m)
+	}
+	if err := s.Delete(id); err != nil {
+		return err
+	}
+	if err := s.Add(id, metrics); err != nil {
+		// Cannot happen: we just freed the slot. Surface loudly if it does.
+		panic("smbm: re-add after delete failed: " + err.Error())
+	}
+	return nil
+}
+
+// Upsert adds the resource if absent or updates it if present.
+func (s *SMBM) Upsert(id int, metrics []int64) error {
+	if s.Contains(id) {
+		return s.Update(id, metrics)
+	}
+	return s.Add(id, metrics)
+}
+
+// Contains reports whether a resource with the given id is present.
+func (s *SMBM) Contains(id int) bool {
+	_, ok := s.findID(id)
+	return ok
+}
+
+// Metrics returns a copy of the metric values for the given id, or ok=false
+// if absent.
+func (s *SMBM) Metrics(id int) (vals []int64, ok bool) {
+	idPos, ok := s.findID(id)
+	if !ok {
+		return nil, false
+	}
+	vals = make([]int64, s.m)
+	for j := 0; j < s.m; j++ {
+		vals[j] = s.metrics[j][s.ids[idPos].metricPos[j]].val
+	}
+	return vals, true
+}
+
+// Value returns the value of metric dim for the given id, or ok=false if
+// the id is absent. It panics if dim is out of range.
+func (s *SMBM) Value(id, dim int) (val int64, ok bool) {
+	s.checkDim(dim)
+	idPos, ok := s.findID(id)
+	if !ok {
+		return 0, false
+	}
+	return s.metrics[dim][s.ids[idPos].metricPos[dim]].val, true
+}
+
+// Members returns a bit vector of width Capacity() with a 1 for each
+// resource id currently present — the encoding of the full table that feeds
+// the filter pipeline.
+func (s *SMBM) Members() *bitvec.Vector {
+	v := bitvec.New(s.n)
+	for i := range s.ids {
+		v.Set(s.ids[i].id)
+	}
+	return v
+}
+
+// Dim provides read access to one sorted metric dimension, the view a UFPU
+// copies into its temp_list in its first clock cycle (§5.2.1). Positions run
+// 0..Len()-1 in sorted (increasing) order.
+type Dim struct {
+	s   *SMBM
+	dim int
+}
+
+// Dim returns a view of metric dimension dim. It panics if dim is out of
+// range [0, NumMetrics()).
+func (s *SMBM) Dim(dim int) Dim {
+	s.checkDim(dim)
+	return Dim{s: s, dim: dim}
+}
+
+// Len returns the number of entries in the dimension (== Size()).
+func (d Dim) Len() int { return len(d.s.metrics[d.dim]) }
+
+// Value returns the metric value at sorted position pos.
+func (d Dim) Value(pos int) int64 { return d.s.metrics[d.dim][pos].val }
+
+// ID returns the resource id owning the entry at sorted position pos,
+// resolved through the reverse (metric → id) pointer.
+func (d Dim) ID(pos int) int {
+	return d.s.ids[d.s.metrics[d.dim][pos].idPos].id
+}
+
+// IDsSorted returns all present resource ids in increasing order of this
+// dimension's metric value (FIFO tie-break preserved).
+func (d Dim) IDsSorted() []int {
+	out := make([]int, d.Len())
+	for p := 0; p < d.Len(); p++ {
+		out[p] = d.ID(p)
+	}
+	return out
+}
+
+// CheckInvariants verifies every structural invariant of the SMBM:
+// dimensions sorted, pointer bidirectionality, consistent sizes, unique ids.
+// It returns a descriptive error on the first violation. Intended for tests
+// and fuzzing.
+func (s *SMBM) CheckInvariants() error {
+	for i := 1; i < len(s.ids); i++ {
+		if s.ids[i-1].id >= s.ids[i].id {
+			return fmt.Errorf("id dimension not strictly sorted at %d", i)
+		}
+	}
+	for j := 0; j < s.m; j++ {
+		col := s.metrics[j]
+		if len(col) != len(s.ids) {
+			return fmt.Errorf("metric %d has %d entries, id dim has %d", j, len(col), len(s.ids))
+		}
+		for i := 1; i < len(col); i++ {
+			if col[i-1].val > col[i].val {
+				return fmt.Errorf("metric %d not sorted at %d", j, i)
+			}
+		}
+		for p := range col {
+			ip := col[p].idPos
+			if ip < 0 || ip >= len(s.ids) {
+				return fmt.Errorf("metric %d pos %d: idPos %d out of range", j, p, ip)
+			}
+			if s.ids[ip].metricPos[j] != p {
+				return fmt.Errorf("pointer mismatch: metric %d pos %d -> id pos %d -> metric pos %d",
+					j, p, ip, s.ids[ip].metricPos[j])
+			}
+		}
+	}
+	for i := range s.ids {
+		if s.ids[i].id < 0 || s.ids[i].id >= s.n {
+			return fmt.Errorf("id %d out of range", s.ids[i].id)
+		}
+		if len(s.ids[i].metricPos) != s.m {
+			return fmt.Errorf("id %d has %d metric pointers, want %d", s.ids[i].id, len(s.ids[i].metricPos), s.m)
+		}
+	}
+	return nil
+}
+
+func (s *SMBM) findID(id int) (pos int, ok bool) {
+	pos = sort.Search(len(s.ids), func(i int) bool { return s.ids[i].id >= id })
+	ok = pos < len(s.ids) && s.ids[pos].id == id
+	return pos, ok
+}
+
+func (s *SMBM) checkDim(dim int) {
+	if dim < 0 || dim >= s.m {
+		panic(fmt.Sprintf("smbm: dimension %d out of range [0,%d)", dim, s.m))
+	}
+}

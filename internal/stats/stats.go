@@ -1,0 +1,170 @@
+// Package stats provides the summary statistics the evaluation harness
+// reports: means, percentiles, CDFs, and normalized-ratio series matching
+// the paper's figures (which plot response times and FCTs normalized
+// against a baseline policy).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates float64 observations.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddAll appends many observations.
+func (s *Sample) AddAll(xs []float64) {
+	s.xs = append(s.xs, xs...)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using linear
+// interpolation between order statistics. It panics if the sample is empty
+// or p is out of range.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		panic("stats: percentile of empty sample")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of [0,100]", p))
+	}
+	s.sort()
+	if len(s.xs) == 1 {
+		return s.xs[0]
+	}
+	rank := p / 100 * float64(len(s.xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// Min returns the smallest observation. It panics on an empty sample.
+func (s *Sample) Min() float64 {
+	s.mustNonEmpty()
+	s.sort()
+	return s.xs[0]
+}
+
+// Max returns the largest observation. It panics on an empty sample.
+func (s *Sample) Max() float64 {
+	s.mustNonEmpty()
+	s.sort()
+	return s.xs[len(s.xs)-1]
+}
+
+// Stddev returns the sample standard deviation (n−1 denominator), or 0 for
+// fewer than two observations.
+func (s *Sample) Stddev() float64 {
+	if len(s.xs) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(s.xs)-1))
+}
+
+// Values returns a copy of the observations in sorted order.
+func (s *Sample) Values() []float64 {
+	s.sort()
+	out := make([]float64, len(s.xs))
+	copy(out, s.xs)
+	return out
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+func (s *Sample) mustNonEmpty() {
+	if len(s.xs) == 0 {
+		panic("stats: empty sample")
+	}
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X float64 // value
+	F float64 // P(sample ≤ X)
+}
+
+// CDF returns the empirical CDF of the sample evaluated at up to points
+// evenly spaced quantiles (the form in which Figures 16 and 19 plot
+// response-time distributions). It panics on an empty sample.
+func (s *Sample) CDF(points int) []CDFPoint {
+	s.mustNonEmpty()
+	if points < 2 {
+		points = 2
+	}
+	out := make([]CDFPoint, points)
+	for i := 0; i < points; i++ {
+		f := float64(i) / float64(points-1)
+		out[i] = CDFPoint{X: s.Percentile(100 * f), F: f}
+	}
+	return out
+}
+
+// Ratio divides a by b elementwise, the normalization applied in the
+// paper's figures (e.g. "response time for policy 2 normalized w.r.t.
+// policy 1"). It panics on length mismatch or division by zero.
+func Ratio(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: ratio of %d vs %d values", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		if b[i] == 0 {
+			panic("stats: ratio division by zero")
+		}
+		out[i] = a[i] / b[i]
+	}
+	return out
+}
+
+// FractionBelow returns the fraction of observations strictly below x.
+func (s *Sample) FractionBelow(x float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	i := sort.SearchFloat64s(s.xs, x)
+	return float64(i) / float64(len(s.xs))
+}

@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Stddev() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+	for name, f := range map[string]func(){
+		"Percentile": func() { s.Percentile(50) },
+		"Min":        func() { s.Min() },
+		"Max":        func() { s.Max() },
+		"CDF":        func() { s.CDF(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty sample should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBasicStats(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{4, 1, 3, 2})
+	if s.N() != 4 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 2.5 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 4 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Median() != 2.5 {
+		t.Errorf("Median = %v", s.Median())
+	}
+	if math.Abs(s.Stddev()-1.2909944) > 1e-6 {
+		t.Errorf("Stddev = %v", s.Stddev())
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{0, 10})
+	if got := s.Percentile(25); got != 2.5 {
+		t.Errorf("P25 = %v, want 2.5", got)
+	}
+	if got := s.Percentile(0); got != 0 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 10 {
+		t.Errorf("P100 = %v", got)
+	}
+	single := Sample{}
+	single.Add(7)
+	if got := single.Percentile(99); got != 7 {
+		t.Errorf("single-sample percentile = %v", got)
+	}
+}
+
+func TestPercentileRangePanics(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Percentile(101) should panic")
+		}
+	}()
+	s.Percentile(101)
+}
+
+func TestAddAfterSortedQuery(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{5, 1})
+	_ = s.Median() // forces sort
+	s.Add(0)
+	if s.Min() != 0 {
+		t.Fatal("Add after a sorted query lost ordering")
+	}
+}
+
+func TestCDFMonotoneAndBounded(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var s Sample
+	for i := 0; i < 500; i++ {
+		s.Add(r.NormFloat64())
+	}
+	cdf := s.CDF(50)
+	if len(cdf) != 50 {
+		t.Fatalf("CDF points = %d", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].X < cdf[i-1].X || cdf[i].F < cdf[i-1].F {
+			t.Fatalf("CDF not monotone at %d", i)
+		}
+	}
+	if cdf[0].F != 0 || cdf[len(cdf)-1].F != 1 {
+		t.Fatal("CDF endpoints wrong")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	got := Ratio([]float64{2, 9}, []float64{4, 3})
+	if got[0] != 0.5 || got[1] != 3 {
+		t.Fatalf("Ratio = %v", got)
+	}
+	for name, f := range map[string]func(){
+		"mismatch": func() { Ratio([]float64{1}, []float64{1, 2}) },
+		"divzero":  func() { Ratio([]float64{1}, []float64{0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Ratio %s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{1, 2, 3, 4})
+	if got := s.FractionBelow(3); got != 0.5 {
+		t.Errorf("FractionBelow(3) = %v", got)
+	}
+	if got := s.FractionBelow(0); got != 0 {
+		t.Errorf("FractionBelow(0) = %v", got)
+	}
+	if got := s.FractionBelow(100); got != 1 {
+		t.Errorf("FractionBelow(100) = %v", got)
+	}
+	var empty Sample
+	if empty.FractionBelow(1) != 0 {
+		t.Error("empty FractionBelow should be 0")
+	}
+}
+
+func TestPropertyPercentilesOrdered(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var s Sample
+		n := 1 + r.Intn(200)
+		for i := 0; i < n; i++ {
+			s.Add(r.Float64() * 1000)
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := s.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return s.Percentile(0) == s.Min() && s.Percentile(100) == s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMeanWithinBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var s Sample
+		n := 1 + r.Intn(100)
+		for i := 0; i < n; i++ {
+			s.Add(r.Float64()*200 - 100)
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-9 && m <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,232 @@
+// Package workload generates the traffic and resource traces driving the
+// evaluation (§7.2): the DCTCP web-search flow-size distribution with
+// Poisson flow arrivals (Figures 17, 18), Zipf-skewed graph-database query
+// streams, and time-varying server resource-consumption traces standing in
+// for the paper's week-long production benchmark (§7.2.2). All generators
+// are seeded and deterministic.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SizePoint is one point of an empirical flow-size CDF: F is
+// P(size ≤ Bytes).
+type SizePoint struct {
+	Bytes float64
+	F     float64
+}
+
+// WebSearchCDF approximates the web-search workload of Alizadeh et al.
+// (DCTCP [3]), the trace §7.2.3 uses: mostly small flows (over half under
+// 100 KB) with a heavy tail of multi-megabyte flows carrying most bytes.
+var WebSearchCDF = []SizePoint{
+	{6_000, 0.00},
+	{10_000, 0.15},
+	{20_000, 0.20},
+	{30_000, 0.30},
+	{50_000, 0.40},
+	{80_000, 0.53},
+	{200_000, 0.60},
+	{1_000_000, 0.70},
+	{2_000_000, 0.80},
+	{5_000_000, 0.90},
+	{10_000_000, 0.95},
+	{30_000_000, 1.00},
+}
+
+// FlowSizer samples flow sizes from an empirical CDF by inverse transform
+// with log-linear interpolation between points.
+type FlowSizer struct {
+	cdf  []SizePoint
+	mean float64
+}
+
+// NewFlowSizer validates the CDF (monotone in both coordinates, ending at
+// F=1) and precomputes its mean.
+func NewFlowSizer(cdf []SizePoint) (*FlowSizer, error) {
+	if len(cdf) < 2 {
+		return nil, fmt.Errorf("workload: CDF needs at least 2 points")
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Bytes <= cdf[i-1].Bytes || cdf[i].F < cdf[i-1].F {
+			return nil, fmt.Errorf("workload: CDF not monotone at point %d", i)
+		}
+	}
+	if cdf[len(cdf)-1].F != 1.0 {
+		return nil, fmt.Errorf("workload: CDF must end at F=1")
+	}
+	fs := &FlowSizer{cdf: cdf}
+	// Mean via trapezoidal integration over the inverse CDF.
+	var mean float64
+	prev := cdf[0]
+	if prev.F > 0 {
+		mean += prev.F * prev.Bytes
+	}
+	for _, pt := range cdf[1:] {
+		mean += (pt.F - prev.F) * (pt.Bytes + prev.Bytes) / 2
+		prev = pt
+	}
+	fs.mean = mean
+	return fs, nil
+}
+
+// MustWebSearch returns a FlowSizer over WebSearchCDF; the embedded table is
+// valid by construction.
+func MustWebSearch() *FlowSizer {
+	fs, err := NewFlowSizer(WebSearchCDF)
+	if err != nil {
+		panic(err)
+	}
+	return fs
+}
+
+// MeanBytes returns the distribution's mean flow size in bytes.
+func (fs *FlowSizer) MeanBytes() float64 { return fs.mean }
+
+// Sample draws one flow size in bytes.
+func (fs *FlowSizer) Sample(r *rand.Rand) int64 {
+	u := r.Float64()
+	cdf := fs.cdf
+	if u <= cdf[0].F {
+		return int64(cdf[0].Bytes)
+	}
+	for i := 1; i < len(cdf); i++ {
+		if u <= cdf[i].F {
+			lo, hi := cdf[i-1], cdf[i]
+			frac := (u - lo.F) / (hi.F - lo.F)
+			// Log-linear interpolation suits the heavy tail.
+			logSize := math.Log(lo.Bytes) + frac*(math.Log(hi.Bytes)-math.Log(lo.Bytes))
+			return int64(math.Exp(logSize))
+		}
+	}
+	return int64(cdf[len(cdf)-1].Bytes)
+}
+
+// PoissonArrivals yields exponential inter-arrival gaps for a target link
+// load: given per-host access bandwidth (bits/s), the number of sending
+// hosts, and the mean flow size, load L ∈ (0,1] fixes the aggregate flow
+// arrival rate λ = L · hosts · bw / (8 · meanBytes).
+type PoissonArrivals struct {
+	lambda float64 // flows per second, aggregate
+}
+
+// NewPoissonArrivals computes the arrival process for the target load.
+func NewPoissonArrivals(load float64, hosts int, linkBitsPerSec, meanFlowBytes float64) (*PoissonArrivals, error) {
+	if load <= 0 || load > 1 {
+		return nil, fmt.Errorf("workload: load %v outside (0,1]", load)
+	}
+	if hosts <= 0 || linkBitsPerSec <= 0 || meanFlowBytes <= 0 {
+		return nil, fmt.Errorf("workload: non-positive arrival parameter")
+	}
+	return &PoissonArrivals{
+		lambda: load * float64(hosts) * linkBitsPerSec / (8 * meanFlowBytes),
+	}, nil
+}
+
+// RatePerSec returns the aggregate arrival rate λ in flows per second.
+func (p *PoissonArrivals) RatePerSec() float64 { return p.lambda }
+
+// NextGapSec draws the next exponential inter-arrival gap in seconds.
+func (p *PoissonArrivals) NextGapSec(r *rand.Rand) float64 {
+	return r.ExpFloat64() / p.lambda
+}
+
+// QueryStream generates a Zipf-skewed stream of query ids, standing in for
+// the captured trace of graph-database queries (§7.2.2): a small set of
+// popular queries dominates, which is what makes in-network caching of the
+// most popular filter queries (§7.2.5) effective.
+type QueryStream struct {
+	zipf *rand.Zipf
+	r    *rand.Rand
+}
+
+// NewQueryStream builds a stream over numQueries distinct queries with Zipf
+// skew s (> 1; larger is more skewed).
+func NewQueryStream(seed int64, numQueries int, s float64) (*QueryStream, error) {
+	if numQueries <= 0 {
+		return nil, fmt.Errorf("workload: need at least one query")
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("workload: Zipf s must be > 1, got %v", s)
+	}
+	r := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(r, s, 1, uint64(numQueries-1))
+	if z == nil {
+		return nil, fmt.Errorf("workload: invalid Zipf parameters")
+	}
+	return &QueryStream{zipf: z, r: r}, nil
+}
+
+// Next returns the next query id in [0, numQueries).
+func (q *QueryStream) Next() int { return int(q.zipf.Uint64()) }
+
+// ResourceTrace models one server's time-varying available resources
+// (CPU %, memory, bandwidth) as bounded mean-reverting random walks — the
+// statistical stand-in for the paper's week-long benchmark of "how server
+// resources available to the graph database change over time" under
+// statistical multiplexing with co-located services.
+type ResourceTrace struct {
+	r      *rand.Rand
+	value  []float64
+	mean   []float64
+	sigma  []float64
+	minV   []float64
+	maxV   []float64
+	revert float64
+}
+
+// ResourceSpec describes one metric's trace: mean level, step volatility,
+// and hard bounds.
+type ResourceSpec struct {
+	Name     string
+	Mean     float64
+	Sigma    float64
+	Min, Max float64
+}
+
+// NewResourceTrace builds a trace over the given metrics with mean
+// reversion coefficient revert ∈ (0, 1].
+func NewResourceTrace(seed int64, revert float64, specs []ResourceSpec) (*ResourceTrace, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("workload: resource trace needs metrics")
+	}
+	if revert <= 0 || revert > 1 {
+		return nil, fmt.Errorf("workload: reversion %v outside (0,1]", revert)
+	}
+	t := &ResourceTrace{r: rand.New(rand.NewSource(seed)), revert: revert}
+	for _, sp := range specs {
+		if sp.Min > sp.Max || sp.Mean < sp.Min || sp.Mean > sp.Max {
+			return nil, fmt.Errorf("workload: metric %q has inconsistent bounds", sp.Name)
+		}
+		t.value = append(t.value, sp.Mean)
+		t.mean = append(t.mean, sp.Mean)
+		t.sigma = append(t.sigma, sp.Sigma)
+		t.minV = append(t.minV, sp.Min)
+		t.maxV = append(t.maxV, sp.Max)
+	}
+	return t, nil
+}
+
+// Step advances every metric one time step and returns the current values
+// (shared slice; copy if retaining).
+func (t *ResourceTrace) Step() []float64 {
+	for i := range t.value {
+		drift := t.revert * (t.mean[i] - t.value[i])
+		noise := t.r.NormFloat64() * t.sigma[i]
+		v := t.value[i] + drift + noise
+		if v < t.minV[i] {
+			v = t.minV[i]
+		}
+		if v > t.maxV[i] {
+			v = t.maxV[i]
+		}
+		t.value[i] = v
+	}
+	return t.value
+}
+
+// Values returns the current values without stepping.
+func (t *ResourceTrace) Values() []float64 { return t.value }

@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewFlowSizerValidation(t *testing.T) {
+	if _, err := NewFlowSizer([]SizePoint{{100, 1}}); err == nil {
+		t.Error("single point should fail")
+	}
+	if _, err := NewFlowSizer([]SizePoint{{100, 0}, {50, 1}}); err == nil {
+		t.Error("non-monotone bytes should fail")
+	}
+	if _, err := NewFlowSizer([]SizePoint{{100, 0.5}, {200, 0.2}}); err == nil {
+		t.Error("non-monotone F should fail")
+	}
+	if _, err := NewFlowSizer([]SizePoint{{100, 0}, {200, 0.9}}); err == nil {
+		t.Error("CDF not ending at 1 should fail")
+	}
+}
+
+func TestWebSearchSampler(t *testing.T) {
+	fs := MustWebSearch()
+	r := rand.New(rand.NewSource(1))
+	var sum float64
+	n := 20000
+	small := 0
+	for i := 0; i < n; i++ {
+		sz := fs.Sample(r)
+		if sz < 1000 || sz > 31_000_000 {
+			t.Fatalf("sample %d out of plausible range", sz)
+		}
+		if sz <= 100_000 {
+			small++
+		}
+		sum += float64(sz)
+	}
+	// Over half the flows are small (the paper's motivation for per-packet
+	// filtering: small flows dominate counts).
+	if frac := float64(small) / float64(n); frac < 0.5 || frac > 0.75 {
+		t.Errorf("small-flow fraction = %.2f, want ~0.55-0.65", frac)
+	}
+	// Empirical mean within 25%% of the analytic mean.
+	gotMean := sum / float64(n)
+	if e := math.Abs(gotMean-fs.MeanBytes()) / fs.MeanBytes(); e > 0.25 {
+		t.Errorf("empirical mean %.0f vs analytic %.0f (err %.0f%%)", gotMean, fs.MeanBytes(), 100*e)
+	}
+	// Heavy tail: mean far above median.
+	if fs.MeanBytes() < 500_000 {
+		t.Errorf("mean %.0f too small for a heavy-tailed workload", fs.MeanBytes())
+	}
+}
+
+func TestPoissonArrivals(t *testing.T) {
+	if _, err := NewPoissonArrivals(0, 10, 1e10, 1e6); err == nil {
+		t.Error("zero load should fail")
+	}
+	if _, err := NewPoissonArrivals(1.5, 10, 1e10, 1e6); err == nil {
+		t.Error("load > 1 should fail")
+	}
+	if _, err := NewPoissonArrivals(0.5, 0, 1e10, 1e6); err == nil {
+		t.Error("zero hosts should fail")
+	}
+
+	// Load 0.8, 8 hosts at 10 Gb/s, mean 1 MB flows:
+	// λ = 0.8 · 8 · 1e10 / (8 · 1e6) = 8000 flows/s.
+	pa, err := NewPoissonArrivals(0.8, 8, 1e10, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pa.RatePerSec()-8000) > 1 {
+		t.Fatalf("rate = %v, want 8000", pa.RatePerSec())
+	}
+	r := rand.New(rand.NewSource(2))
+	var sum float64
+	n := 50000
+	for i := 0; i < n; i++ {
+		g := pa.NextGapSec(r)
+		if g <= 0 {
+			t.Fatal("non-positive gap")
+		}
+		sum += g
+	}
+	meanGap := sum / float64(n)
+	if e := math.Abs(meanGap-1.0/8000) * 8000; e > 0.05 {
+		t.Errorf("mean gap %.6f, want %.6f", meanGap, 1.0/8000)
+	}
+}
+
+func TestQueryStreamZipf(t *testing.T) {
+	if _, err := NewQueryStream(1, 0, 1.2); err == nil {
+		t.Error("zero queries should fail")
+	}
+	if _, err := NewQueryStream(1, 100, 1.0); err == nil {
+		t.Error("s ≤ 1 should fail")
+	}
+	qs, err := NewQueryStream(7, 100, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 100)
+	n := 30000
+	for i := 0; i < n; i++ {
+		q := qs.Next()
+		if q < 0 || q >= 100 {
+			t.Fatalf("query id %d out of range", q)
+		}
+		counts[q]++
+	}
+	// Skew: the most popular query far outweighs the median one, and the
+	// top 10 queries carry most of the stream.
+	top10 := 0
+	for q := 0; q < 10; q++ {
+		top10 += counts[q]
+	}
+	if frac := float64(top10) / float64(n); frac < 0.5 {
+		t.Errorf("top-10 fraction = %.2f, want ≥ 0.5 (Zipf skew)", frac)
+	}
+	if counts[0] <= counts[50]*5 {
+		t.Errorf("head count %d not dominant over mid count %d", counts[0], counts[50])
+	}
+}
+
+func TestQueryStreamDeterministic(t *testing.T) {
+	a, _ := NewQueryStream(11, 50, 1.2)
+	b, _ := NewQueryStream(11, 50, 1.2)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed should give identical query streams")
+		}
+	}
+}
+
+func TestResourceTrace(t *testing.T) {
+	specs := []ResourceSpec{
+		{Name: "cpu", Mean: 50, Sigma: 5, Min: 0, Max: 100},
+		{Name: "memMB", Mean: 2000, Sigma: 100, Min: 0, Max: 4096},
+	}
+	tr, err := NewResourceTrace(3, 0.1, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cpuSum float64
+	steps := 5000
+	for i := 0; i < steps; i++ {
+		v := tr.Step()
+		if v[0] < 0 || v[0] > 100 || v[1] < 0 || v[1] > 4096 {
+			t.Fatalf("step %d out of bounds: %v", i, v)
+		}
+		cpuSum += v[0]
+	}
+	// Mean reversion keeps the long-run average near the spec mean.
+	if avg := cpuSum / float64(steps); math.Abs(avg-50) > 10 {
+		t.Errorf("cpu long-run mean = %.1f, want ≈50", avg)
+	}
+	if got := tr.Values(); len(got) != 2 {
+		t.Fatalf("Values len = %d", len(got))
+	}
+}
+
+func TestResourceTraceValidation(t *testing.T) {
+	if _, err := NewResourceTrace(1, 0.1, nil); err == nil {
+		t.Error("empty specs should fail")
+	}
+	if _, err := NewResourceTrace(1, 0, []ResourceSpec{{Mean: 1, Max: 2}}); err == nil {
+		t.Error("zero reversion should fail")
+	}
+	if _, err := NewResourceTrace(1, 0.1, []ResourceSpec{{Mean: 5, Min: 10, Max: 2}}); err == nil {
+		t.Error("inconsistent bounds should fail")
+	}
+}
+
+func TestResourceTraceVariesOverTime(t *testing.T) {
+	tr, _ := NewResourceTrace(9, 0.05, []ResourceSpec{{Name: "cpu", Mean: 50, Sigma: 8, Min: 0, Max: 100}})
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[int(tr.Step()[0]/10)] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("trace visited only %d deciles in 200 steps; not varying", len(seen))
+	}
+}

@@ -1,0 +1,157 @@
+// Package thanos is the public API of this reproduction of "Programmable
+// Multi-Dimensional Table Filters for Line Rate Network Functions"
+// (Shrivastav, SIGCOMM 2022): a programmable switch extension that filters
+// a table of resources (network paths, servers, switch ports, ...) on
+// stateful multi-dimensional policies at line rate.
+//
+// The core abstraction is the FilterModule: a Sorted Multidimensional
+// Bidirectional Map (SMBM) holding up to N resources with M metrics each,
+// plus a filter policy compiled onto a programmable pipeline of unary
+// (predicate, min/max, round-robin, random) and binary (union,
+// intersection, difference) filter units. Policies are written in a small
+// DSL:
+//
+//	m, err := thanos.NewFilterModule(thanos.ModuleConfig{
+//		Capacity: 64,
+//		Schema:   thanos.Schema{Attrs: []string{"cpu", "mem", "bw"}},
+//		Policy: thanos.MustParsePolicy(`
+//			policy lb
+//			let ok = intersect(filter(table, cpu < 70),
+//			                   filter(table, mem > 1024),
+//			                   filter(table, bw > 2000))
+//			out primary = random(ok)
+//			out backup  = random(table)
+//			fallback primary -> backup
+//		`),
+//	})
+//	m.Table().Add(serverID, []int64{cpu, mem, bw}) // probe processing
+//	server, ok := m.Decide(0)                      // per-packet decision
+//
+// Supporting packages under internal/ implement every substrate the paper
+// depends on: the SMBM data structure, UFPU/BFPU filter units, K-UFPU
+// parallel chains, Benes-network crossbars, the policy compiler, an
+// RMT-pipeline model, an analytic ASIC area/timing model calibrated to the
+// paper's synthesis results, and the packet-level network simulator,
+// L4 load balancer and graph database used to regenerate every table and
+// figure of the paper's evaluation (see DESIGN.md and EXPERIMENTS.md).
+package thanos
+
+import (
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/pipeline"
+	"repro/internal/policy"
+	"repro/internal/smbm"
+)
+
+// Core types, re-exported for the public API.
+type (
+	// FilterModule is a Thanos filter module: SMBM table + compiled
+	// pipeline + fallback MUX.
+	FilterModule = core.FilterModule
+	// ModuleConfig configures NewFilterModule.
+	ModuleConfig = core.Config
+	// Policy is a parsed or hand-built filter policy.
+	Policy = policy.Policy
+	// Schema names a resource table's metric dimensions.
+	Schema = policy.Schema
+	// Params are the pipeline design parameters (n, f, k, chain length).
+	Params = pipeline.Params
+	// SMBM is the sorted multidimensional bidirectional map resource table.
+	SMBM = smbm.SMBM
+	// Module is the interpreted (pipeline-shape-free) execution path with
+	// semantics identical to the compiled FilterModule.
+	Module = policy.Module
+	// Expr is a policy expression node, for building policies in Go
+	// instead of the DSL.
+	Expr = policy.Expr
+	// RelOp is a relational operator for predicate filters.
+	RelOp = filter.RelOp
+)
+
+// Relational operators for use with Pred.
+const (
+	LT = filter.LT
+	GT = filter.GT
+	LE = filter.LE
+	GE = filter.GE
+	EQ = filter.EQ
+	NE = filter.NE
+)
+
+// NewFilterModule builds a filter module from a configuration: it
+// allocates the resource table, compiles the policy onto the pipeline
+// (operator placement and Benes crossbar routing, all fixed at compile
+// time per §5.3.2), and returns the ready module.
+func NewFilterModule(cfg ModuleConfig) (*FilterModule, error) { return core.New(cfg) }
+
+// NewModule builds the interpreted variant: same policy semantics, no
+// pipeline shape constraints. Prefer it inside simulators and query
+// engines.
+func NewModule(capacity int, schema Schema, pol *Policy) (*Module, error) {
+	return policy.NewModule(capacity, schema, pol)
+}
+
+// NewTable allocates a standalone SMBM with capacity n and m metric
+// dimensions.
+func NewTable(n, m int) *SMBM { return smbm.New(n, m) }
+
+// ParsePolicy parses the policy DSL (see the policy package documentation
+// for the grammar).
+func ParsePolicy(src string) (*Policy, error) { return policy.Parse(src) }
+
+// MustParsePolicy is ParsePolicy that panics on error, for policies fixed
+// at build time.
+func MustParsePolicy(src string) *Policy { return policy.MustParse(src) }
+
+// DefaultParams returns the paper's default pipeline design point
+// (n=4, f=2, k=4, K=4 — §6).
+func DefaultParams() Params { return pipeline.DefaultParams() }
+
+// Policy-building helpers for constructing expression DAGs in Go. TableRef
+// denotes the full resource table; the rest mirror the DSL functions.
+
+// TableRef returns the leaf expression denoting the full resource table.
+func TableRef() Expr { return &policy.Table{} }
+
+// Pred keeps the entries whose attribute satisfies "attr rel val".
+func Pred(in Expr, attr string, rel RelOp, val int64) Expr {
+	return policy.Pred(in, attr, rel, val)
+}
+
+// Min keeps the single entry with the smallest attr value.
+func Min(in Expr, attr string) Expr { return policy.Min(in, attr) }
+
+// Max keeps the single entry with the largest attr value.
+func Max(in Expr, attr string) Expr { return policy.Max(in, attr) }
+
+// TopKMin keeps the k entries with the smallest attr values (a parallel
+// chain of min operators, §4.2.1).
+func TopKMin(in Expr, attr string, k int) Expr { return policy.TopKMin(in, attr, k) }
+
+// Random keeps one entry chosen uniformly at random.
+func Random(in Expr) Expr { return policy.Random(in) }
+
+// SampleK keeps k distinct entries chosen uniformly at random.
+func SampleK(in Expr, k int) Expr { return policy.SampleK(in, k) }
+
+// RoundRobin keeps one entry chosen cyclically, weighted by attr.
+func RoundRobin(in Expr, attr string) Expr { return policy.RoundRobin(in, attr) }
+
+// Intersect merges expressions by set intersection.
+func Intersect(exprs ...Expr) Expr { return policy.Intersect(exprs...) }
+
+// Union merges expressions by set union.
+func Union(exprs ...Expr) Expr { return policy.Union(exprs...) }
+
+// Diff keeps the entries of left not present in right.
+func Diff(left, right Expr) Expr { return policy.Diff(left, right) }
+
+// Simple wraps a single expression as a one-output policy.
+func Simple(name string, e Expr) *Policy { return policy.Simple(name, e) }
+
+// Fallback builds the common conditional pattern "use primary if
+// non-empty, else fallback" (§4.2.3).
+func Fallback(name string, primary, fallback Expr) *Policy {
+	return policy.Fallback(name, primary, fallback)
+}

@@ -1,0 +1,99 @@
+package thanos_test
+
+import (
+	"testing"
+
+	thanos "repro"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	m, err := thanos.NewFilterModule(thanos.ModuleConfig{
+		Capacity: 16,
+		Schema:   thanos.Schema{Attrs: []string{"cpu", "mem", "bw"}},
+		Policy: thanos.MustParsePolicy(`
+policy lb
+let ok = intersect(filter(table, cpu < 70), filter(table, mem > 1024), filter(table, bw > 2000))
+out primary = random(ok)
+out backup  = random(table)
+fallback primary -> backup
+`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := map[int][]int64{
+		0: {30, 4096, 8000}, // healthy
+		1: {90, 4096, 8000}, // cpu hot
+		2: {20, 512, 8000},  // low memory
+		3: {25, 4096, 1000}, // low bandwidth
+	}
+	for id, vals := range servers {
+		if err := m.Table().Add(id, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		id, ok := m.Decide(0)
+		if !ok || id != 0 {
+			t.Fatalf("Decide = %d, %v; only server 0 is healthy", id, ok)
+		}
+	}
+}
+
+func TestGoBuilderAPI(t *testing.T) {
+	tbl := thanos.TableRef()
+	pol := thanos.Fallback("routing",
+		thanos.Min(thanos.Intersect(
+			thanos.TopKMin(tbl, "queue", 2),
+			thanos.TopKMin(tbl, "util", 2),
+		), "util"),
+		thanos.Min(tbl, "util"),
+	)
+	m, err := thanos.NewModule(8, thanos.Schema{Attrs: []string{"util", "queue"}}, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path 2 is in the top-2 of both metrics and has the lowest util there.
+	rows := map[int][2]int64{
+		0: {100, 9}, 1: {900, 1}, 2: {200, 2}, 3: {800, 8},
+	}
+	for id, r := range rows {
+		if err := m.Upsert(id, []int64{r[0], r[1]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id, ok := m.Decide()
+	if !ok || id != 2 {
+		t.Fatalf("Decide = %d, %v; want path 2", id, ok)
+	}
+}
+
+func TestBuilderHelpersCoverOperators(t *testing.T) {
+	tbl := thanos.TableRef()
+	exprs := []thanos.Expr{
+		thanos.Pred(tbl, "x", thanos.LT, 5),
+		thanos.Pred(tbl, "x", thanos.GE, 0),
+		thanos.Max(tbl, "x"),
+		thanos.Random(tbl),
+		thanos.SampleK(tbl, 2),
+		thanos.RoundRobin(tbl, "x"),
+		thanos.Union(thanos.Min(tbl, "x"), thanos.Max(tbl, "x")),
+		thanos.Diff(tbl, thanos.Min(tbl, "x")),
+	}
+	for i, e := range exprs {
+		pol := thanos.Simple("p", e)
+		if _, err := thanos.NewModule(4, thanos.Schema{Attrs: []string{"x"}}, pol); err != nil {
+			t.Errorf("expr %d (%s): %v", i, e, err)
+		}
+	}
+}
+
+func TestNewTable(t *testing.T) {
+	tb := thanos.NewTable(8, 2)
+	if tb.Capacity() != 8 || tb.NumMetrics() != 2 {
+		t.Fatalf("table shape: %d/%d", tb.Capacity(), tb.NumMetrics())
+	}
+	if thanos.DefaultParams().Inputs != 4 {
+		t.Fatal("DefaultParams wrong")
+	}
+}
