@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# check is the PR gate: static analysis plus race-enabled tests over the
+# event kernel and the parallel experiment sweeps (the two subsystems with
+# concurrency-sensitive invariants).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/sim/... ./internal/experiments/...

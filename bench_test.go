@@ -16,6 +16,7 @@ import (
 	"repro/internal/benes"
 	"repro/internal/bitvec"
 	"repro/internal/experiments"
+	"repro/internal/experiments/runner"
 	"repro/internal/lb"
 	"repro/internal/pipeline"
 	"repro/internal/policy"
@@ -97,6 +98,21 @@ func BenchmarkFig17_Routing(b *testing.B) {
 	cfg.SizeScale = 0.05
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig17(cfg, []float64{0.8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig17_RoutingParallel is BenchmarkFig17_Routing with the
+// (policy, load) grid fanned across CPUs by the sweep runner. Results are
+// identical to the serial run; wall-clock shrinks with available cores (on a
+// single-CPU machine it matches the serial benchmark).
+func BenchmarkFig17_RoutingParallel(b *testing.B) {
+	cfg := experiments.DefaultNetConfig(3)
+	cfg.Flows = 80
+	cfg.SizeScale = 0.05
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig17With(cfg, []float64{0.8}, runner.NewPool()); err != nil {
 			b.Fatal(err)
 		}
 	}

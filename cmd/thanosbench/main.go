@@ -3,98 +3,103 @@
 // experiment prints the reproduced numbers next to the paper's published
 // ones where applicable.
 //
+// Independent experiment points (the (policy, load) grids of the figures)
+// are fanned across CPUs by default; every point owns its own simulator and
+// seed, so -parallel changes wall-clock time only, never results.
+//
 // Usage:
 //
-//	thanosbench -exp all            # everything (several minutes)
-//	thanosbench -exp table1         # one experiment
-//	thanosbench -exp fig17 -quick   # reduced-size network runs
-//	thanosbench -exp fig16 -seed 7  # change the workload seed
+//	thanosbench -exp all             # everything (several minutes)
+//	thanosbench -exp table1          # one experiment
+//	thanosbench -exp fig17 -quick    # reduced-size network runs
+//	thanosbench -exp fig16 -seed 7   # change the workload seed
+//	thanosbench -parallel=false      # force serial sweeps
+//	thanosbench -benchjson out.json  # machine-readable results ("-" = stdout)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/asic"
 	"repro/internal/benes"
 	"repro/internal/experiments"
+	"repro/internal/experiments/runner"
 	"repro/internal/lb"
 )
+
+// benchRecord is one experiment's entry in the -benchjson output.
+type benchRecord struct {
+	Experiment string  `json:"experiment"`
+	Seed       int64   `json:"seed"`
+	Quick      bool    `json:"quick"`
+	Workers    int     `json:"workers"`
+	ElapsedMs  float64 `json:"elapsed_ms"`
+	Result     any     `json:"result"`
+}
+
+// drillResult wraps the sweep points so the text report and the JSON record
+// share one value.
+type drillResult []experiments.DrillSweepPoint
+
+func (r drillResult) String() string {
+	var b strings.Builder
+	b.WriteString("== DRILL (d, m) sweep at 80% load (ablation behind §7.2.4's d/m observation) ==\n")
+	for _, p := range r {
+		fmt.Fprintf(&b, "d=%d m=%d mean FCT %.0f µs\n", p.D, p.M, p.MeanFCTUs)
+	}
+	return b.String()
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|fig16|fig17|fig18|fig19|drillsweep|ablation|all")
 	seed := flag.Int64("seed", 1, "workload seed")
 	quick := flag.Bool("quick", false, "smaller network runs (for smoke testing)")
+	parallel := flag.Bool("parallel", true, "fan independent experiment points across CPUs")
+	benchjson := flag.String("benchjson", "", "write machine-readable results as JSON to this file (\"-\" for stdout)")
 	flag.Parse()
 
-	runners := map[string]func() error{
-		"table1": func() error { fmt.Print(experiments.Table1()); return nil },
-		"table2": func() error { fmt.Print(experiments.Table2()); return nil },
-		"table3": func() error { fmt.Print(experiments.Table3()); return nil },
-		"table4": func() error { fmt.Print(experiments.Table4()); return nil },
-		"table5": func() error {
-			res, err := experiments.Table5()
-			if err != nil {
-				return err
-			}
-			fmt.Print(res)
-			return nil
-		},
-		"fig16": func() error {
+	pool := runner.Serial()
+	if *parallel {
+		pool = runner.NewPool()
+	}
+
+	runners := map[string]func() (any, error){
+		"table1": func() (any, error) { return experiments.Table1(), nil },
+		"table2": func() (any, error) { return experiments.Table2(), nil },
+		"table3": func() (any, error) { return experiments.Table3(), nil },
+		"table4": func() (any, error) { return experiments.Table4(), nil },
+		"table5": func() (any, error) { return experiments.Table5() },
+		"fig16": func() (any, error) {
 			n := 4000
 			if *quick {
 				n = 800
 			}
-			res, err := experiments.Fig16(lb.DefaultClusterConfig(*seed), n)
-			if err != nil {
-				return err
-			}
-			fmt.Print(res)
-			return nil
+			return experiments.Fig16With(lb.DefaultClusterConfig(*seed), n, pool)
 		},
-		"fig17": func() error {
-			res, err := experiments.Fig17(netCfg(*seed, *quick), loads(*quick))
-			if err != nil {
-				return err
-			}
-			fmt.Print(res)
-			return nil
+		"fig17": func() (any, error) {
+			return experiments.Fig17With(netCfg(*seed, *quick), loads(*quick), pool)
 		},
-		"fig18": func() error {
-			res, err := experiments.Fig18(netCfg(*seed, *quick), loads(*quick))
-			if err != nil {
-				return err
-			}
-			fmt.Print(res)
-			return nil
+		"fig18": func() (any, error) {
+			return experiments.Fig18With(netCfg(*seed, *quick), loads(*quick), pool)
 		},
-		"fig19": func() error {
+		"fig19": func() (any, error) {
 			cfg := experiments.DefaultFig19Config(*seed)
 			if *quick {
 				cfg.Queries = 800
 			}
-			res, err := experiments.Fig19(cfg)
-			if err != nil {
-				return err
-			}
-			fmt.Print(res)
-			return nil
+			return experiments.Fig19With(cfg, pool)
 		},
-		"drillsweep": func() error {
-			cfg := netCfg(*seed, *quick)
-			pts, err := experiments.DrillSweep(cfg, 0.8, []int{1, 2, 3}, []int{1, 2, 3})
-			if err != nil {
-				return err
-			}
-			fmt.Println("== DRILL (d, m) sweep at 80% load (ablation behind §7.2.4's d/m observation) ==")
-			for _, p := range pts {
-				fmt.Printf("d=%d m=%d mean FCT %.0f µs\n", p.D, p.M, p.MeanFCTUs)
-			}
-			return nil
+		"drillsweep": func() (any, error) {
+			pts, err := experiments.DrillSweepWith(netCfg(*seed, *quick), 0.8,
+				[]int{1, 2, 3}, []int{1, 2, 3}, pool)
+			return drillResult(pts), err
 		},
-		"ablation": func() error { printAblations(); return nil },
+		"ablation": func() (any, error) { return ablationReport(), nil },
 	}
 
 	names := []string{"table1", "table2", "table3", "table4", "table5",
@@ -111,13 +116,44 @@ func main() {
 			selected = append(selected, name)
 		}
 	}
+	var records []benchRecord
 	for _, name := range selected {
-		if err := runners[name](); err != nil {
+		start := time.Now()
+		res, err := runners[name]()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
+		fmt.Print(res)
 		fmt.Println()
+		records = append(records, benchRecord{
+			Experiment: name,
+			Seed:       *seed,
+			Quick:      *quick,
+			Workers:    pool.Workers,
+			ElapsedMs:  float64(time.Since(start).Microseconds()) / 1000,
+			Result:     res,
+		})
 	}
+	if *benchjson != "" {
+		if err := writeJSON(*benchjson, records); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeJSON(path string, records []benchRecord) error {
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 func netCfg(seed int64, quick bool) experiments.NetConfig {
@@ -138,34 +174,36 @@ func loads(quick bool) []float64 {
 	return []float64{0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
 }
 
-// printAblations reports the design-choice ablations DESIGN.md calls out,
+// ablationReport reports the design-choice ablations DESIGN.md calls out,
 // all from the analytic hardware model.
-func printAblations() {
-	fmt.Println("== Design ablations (analytic hardware model, N=128) ==")
+func ablationReport() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "== Design ablations (analytic hardware model, N=128) ==")
 
-	fmt.Println("-- Cell-based pipeline vs naive directly-connected design (§5.3.2) --")
+	fmt.Fprintln(&b, "-- Cell-based pipeline vs naive directly-connected design (§5.3.2) --")
 	for _, nk := range [][2]int{{4, 4}, {8, 8}} {
 		n, k := nk[0], nk[1]
 		cell := asic.PipelineArea(128, n, k, 4, 2)
 		naive := asic.NaivePipelineArea(128, n, k, 4, 2)
-		fmt.Printf("n=%d k=%d: cell design %.3f mm², naive %.3f mm² (%.2fx)\n",
+		fmt.Fprintf(&b, "n=%d k=%d: cell design %.3f mm², naive %.3f mm² (%.2fx)\n",
 			n, k, cell, naive, naive/cell)
 	}
 
-	fmt.Println("-- Benes network vs monolithic crossbar (crosspoint counts, nf x n) --")
+	fmt.Fprintln(&b, "-- Benes network vs monolithic crossbar (crosspoint counts, nf x n) --")
 	for _, n := range []int{4, 8, 16} {
 		mono := benes.CrosspointsMonolithic(2*n, n)
-		fmt.Printf("n=%d f=2: monolithic %d crosspoints vs Benes-based stage area %.4f mm²\n",
+		fmt.Fprintf(&b, "n=%d f=2: monolithic %d crosspoints vs Benes-based stage area %.4f mm²\n",
 			n, mono, asic.StageCrossbarArea(128, n, 2))
 	}
 
-	fmt.Println("-- SMBM scalability limit (§6: flip-flops vs SRAM trade-off) --")
+	fmt.Fprintln(&b, "-- SMBM scalability limit (§6: flip-flops vs SRAM trade-off) --")
 	for _, target := range []float64{1.0, 2.0, 3.0} {
-		fmt.Printf("max resources at %.1f GHz: %d\n", target, asic.SMBMMaxResourcesAtGHz(target))
+		fmt.Fprintf(&b, "max resources at %.1f GHz: %d\n", target, asic.SMBMMaxResourcesAtGHz(target))
 	}
 
-	fmt.Println("-- Chip overhead of an 8x8 pipeline on a 300-700 mm² switch chip --")
+	fmt.Fprintln(&b, "-- Chip overhead of an 8x8 pipeline on a 300-700 mm² switch chip --")
 	area := asic.PipelineArea(128, 8, 8, 4, 2)
-	fmt.Printf("area %.3f mm² -> %.2f%% (700 mm²) to %.2f%% (300 mm²); paper: 0.15-0.3%%\n",
+	fmt.Fprintf(&b, "area %.3f mm² -> %.2f%% (700 mm²) to %.2f%% (300 mm²); paper: 0.15-0.3%%\n",
 		area, asic.ChipOverheadPercent(area, 700), asic.ChipOverheadPercent(area, 300))
+	return b.String()
 }

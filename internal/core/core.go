@@ -27,6 +27,7 @@ type FilterModule struct {
 	pipe     *pipeline.Pipeline
 	compiled *policy.Compiled
 	params   pipeline.Params
+	outs     []*bitvec.Vector // reusable output slice for Process
 }
 
 // Config configures a filter module.
@@ -61,7 +62,10 @@ func New(cfg Config) (*FilterModule, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FilterModule{table: table, pipe: pipe, compiled: compiled, params: params}, nil
+	return &FilterModule{
+		table: table, pipe: pipe, compiled: compiled, params: params,
+		outs: make([]*bitvec.Vector, len(compiled.OutputLines)),
+	}, nil
 }
 
 // Table returns the module's resource table for writes (probe processing,
@@ -77,8 +81,15 @@ func (m *FilterModule) Params() pipeline.Params { return m.params }
 // Process runs one packet through the filter pipeline (the packet itself
 // passes unmodified, §3) and returns the policy's output tables, one bit
 // vector per declared output.
+//
+// The returned slice and vectors are the module's reusable pipeline
+// registers: valid until the next Process call, which overwrites them. The
+// steady-state path performs no heap allocations.
 func (m *FilterModule) Process() ([]*bitvec.Vector, error) {
-	return m.compiled.Run(m.pipe)
+	if err := m.compiled.RunInto(m.outs, m.pipe); err != nil {
+		return nil, err
+	}
+	return m.outs, nil
 }
 
 // Decide runs one packet and resolves output index out through the

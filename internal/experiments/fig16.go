@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/experiments/runner"
 	"repro/internal/lb"
 	"repro/internal/stats"
 )
@@ -36,15 +37,23 @@ func (r Fig16Result) String() string {
 // Fig16 runs the §7.2.2 experiment: the same trace-driven query workload
 // against the same time-varying cluster, placed by Policy 1 (random) and
 // Policy 2 (resource-aware with fallback), reported as a normalized CDF.
+// The two runs execute serially; Fig16With can overlap them.
 func Fig16(cfg lb.ClusterConfig, queries int) (Fig16Result, error) {
-	p1, err := lb.Run(cfg, lb.PolicyRandom, queries)
+	return Fig16With(cfg, queries, runner.Serial())
+}
+
+// Fig16With is Fig16 with the two policy runs fanned across the pool's
+// workers. Each run owns its cluster and scheduler, so results match the
+// serial execution exactly.
+func Fig16With(cfg lb.ClusterConfig, queries int, pool runner.Pool) (Fig16Result, error) {
+	pols := []string{lb.PolicyRandom, lb.PolicyResourceAware}
+	runs, err := runner.Map(pool, len(pols), func(i int) (*lb.Result, error) {
+		return lb.Run(cfg, pols[i], queries)
+	})
 	if err != nil {
 		return Fig16Result{}, err
 	}
-	p2, err := lb.Run(cfg, lb.PolicyResourceAware, queries)
-	if err != nil {
-		return Fig16Result{}, err
-	}
+	p1, p2 := runs[0], runs[1]
 	ratios := stats.Ratio(
 		p2.ResponseTimesUs(cfg.NetRTTUs),
 		p1.ResponseTimesUs(cfg.NetRTTUs),

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/experiments/runner"
 	"repro/internal/netsim"
 	"repro/internal/netsim/topology"
 	"repro/internal/policy"
@@ -290,25 +291,37 @@ func renderFCT(title string, loads []float64, pols []RoutingPolicy, fct, norm []
 }
 
 // Fig17 sweeps loads × the three routing policies and reports mean FCT
-// normalized to Policy 1 — the Figure 17 series.
+// normalized to Policy 1 — the Figure 17 series. It runs the grid serially;
+// Fig17With fans it across a worker pool with identical results.
 func Fig17(cfg NetConfig, loads []float64) (Fig17Result, error) {
+	return Fig17With(cfg, loads, runner.Serial())
+}
+
+// Fig17With is Fig17 with the (policy, load) grid fanned across the pool's
+// workers. Every grid point builds its own network — own scheduler, RNGs and
+// seed — so the result is bit-identical to the serial run; only wall-clock
+// time changes.
+func Fig17With(cfg NetConfig, loads []float64, pool runner.Pool) (Fig17Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Fig17Result{}, err
 	}
 	pols := []RoutingPolicy{RouteECMP, RouteMinUtil, RouteMultiDim}
 	res := Fig17Result{Loads: loads, Policies: pols}
-	for _, pol := range pols {
-		var fcts []float64
-		for _, load := range loads {
-			m, err := averageRuns(cfg, load, func(c NetConfig) (*netsim.Network, error) {
-				return buildRoutingNetwork(c, pol)
-			})
-			if err != nil {
-				return res, fmt.Errorf("%s at load %.2f: %w", pol, load, err)
-			}
-			fcts = append(fcts, m)
+	grid, err := runner.Map(pool, len(pols)*len(loads), func(i int) (float64, error) {
+		pol, load := pols[i/len(loads)], loads[i%len(loads)]
+		m, err := averageRuns(cfg, load, func(c NetConfig) (*netsim.Network, error) {
+			return buildRoutingNetwork(c, pol)
+		})
+		if err != nil {
+			return 0, fmt.Errorf("%s at load %.2f: %w", pol, load, err)
 		}
-		res.MeanFCTUs = append(res.MeanFCTUs, fcts)
+		return m, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for pi := range pols {
+		res.MeanFCTUs = append(res.MeanFCTUs, grid[pi*len(loads):(pi+1)*len(loads)])
 	}
 	res.Normalized = normalizeAgainstFirst(res.MeanFCTUs)
 	return res, nil

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/experiments/runner"
 	"repro/internal/netsim"
 	"repro/internal/netsim/topology"
 	"repro/internal/policy"
@@ -159,25 +160,36 @@ func (r Fig18Result) String() string {
 }
 
 // Fig18 sweeps loads × the three port policies with the given DRILL
-// parameters and reports mean FCT normalized to Policy 1.
+// parameters and reports mean FCT normalized to Policy 1. It runs the grid
+// serially; Fig18With fans it across a worker pool with identical results.
 func Fig18(cfg NetConfig, loads []float64) (Fig18Result, error) {
+	return Fig18With(cfg, loads, runner.Serial())
+}
+
+// Fig18With is Fig18 with the (policy, load) grid fanned across the pool's
+// workers; every point owns its network and scheduler, so results match the
+// serial run exactly.
+func Fig18With(cfg NetConfig, loads []float64, pool runner.Pool) (Fig18Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Fig18Result{}, err
 	}
 	pols := []PortPolicy{PortRandom, PortMinQueue, PortDRILL}
 	res := Fig18Result{Loads: loads, Policies: pols, D: cfg.DrillD, M: cfg.DrillM}
-	for _, pol := range pols {
-		var fcts []float64
-		for _, load := range loads {
-			m, err := averageRuns(cfg, load, func(c NetConfig) (*netsim.Network, error) {
-				return buildPortLBNetwork(c, pol, c.DrillD, c.DrillM)
-			})
-			if err != nil {
-				return res, fmt.Errorf("%s at load %.2f: %w", pol, load, err)
-			}
-			fcts = append(fcts, m)
+	grid, err := runner.Map(pool, len(pols)*len(loads), func(i int) (float64, error) {
+		pol, load := pols[i/len(loads)], loads[i%len(loads)]
+		m, err := averageRuns(cfg, load, func(c NetConfig) (*netsim.Network, error) {
+			return buildPortLBNetwork(c, pol, c.DrillD, c.DrillM)
+		})
+		if err != nil {
+			return 0, fmt.Errorf("%s at load %.2f: %w", pol, load, err)
 		}
-		res.MeanFCTUs = append(res.MeanFCTUs, fcts)
+		return m, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for pi := range pols {
+		res.MeanFCTUs = append(res.MeanFCTUs, grid[pi*len(loads):(pi+1)*len(loads)])
 	}
 	res.Normalized = normalizeAgainstFirst(res.MeanFCTUs)
 	return res, nil
@@ -192,29 +204,32 @@ type DrillSweepPoint struct {
 }
 
 // DrillSweep evaluates DRILL(d, m) across the given parameter grid at one
-// load.
+// load, serially. DrillSweepWith fans the grid across a worker pool.
 func DrillSweep(cfg NetConfig, load float64, ds, ms []int) ([]DrillSweepPoint, error) {
+	return DrillSweepWith(cfg, load, ds, ms, runner.Serial())
+}
+
+// DrillSweepWith is DrillSweep with the (d, m) grid fanned across the pool's
+// workers; every point owns its network and scheduler.
+func DrillSweepWith(cfg NetConfig, load float64, ds, ms []int, pool runner.Pool) ([]DrillSweepPoint, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	var out []DrillSweepPoint
-	for _, d := range ds {
-		for _, m := range ms {
-			net, err := buildPortLBNetwork(cfg, PortDRILL, d, m)
-			if err != nil {
-				return nil, err
-			}
-			if _, err := offerTraffic(cfg, net, load); err != nil {
-				return nil, err
-			}
-			fct, err := meanFCT(cfg, net)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, DrillSweepPoint{D: d, M: m, MeanFCTUs: fct})
+	return runner.Map(pool, len(ds)*len(ms), func(i int) (DrillSweepPoint, error) {
+		d, m := ds[i/len(ms)], ms[i%len(ms)]
+		net, err := buildPortLBNetwork(cfg, PortDRILL, d, m)
+		if err != nil {
+			return DrillSweepPoint{}, err
 		}
-	}
-	return out, nil
+		if _, err := offerTraffic(cfg, net, load); err != nil {
+			return DrillSweepPoint{}, err
+		}
+		fct, err := meanFCT(cfg, net)
+		if err != nil {
+			return DrillSweepPoint{}, err
+		}
+		return DrillSweepPoint{D: d, M: m, MeanFCTUs: fct}, nil
+	})
 }
 
 // DebugPortLB runs one (policy, load) configuration and returns the network

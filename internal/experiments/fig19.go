@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/experiments/runner"
 	"repro/internal/graphdb"
 	"repro/internal/lb"
 	"repro/internal/stats"
@@ -67,8 +68,17 @@ func (r Fig19Result) String() string {
 // Fig19 runs the caching experiment: the §7.2.2 workload under Policy 2,
 // once with every query served by the servers and once with the most
 // popular filter queries answered by a leaf-switch SMBM cache. The cache's
-// exactness is verified against the server engine before the run.
+// exactness is verified against the server engine before the run. The two
+// runs execute serially; Fig19With can overlap them.
 func Fig19(cfg Fig19Config) (Fig19Result, error) {
+	return Fig19With(cfg, runner.Serial())
+}
+
+// Fig19With is Fig19 with the baseline and cached runs fanned across the
+// pool's workers. The cache is built and verified before the fan-out and is
+// read-only during it; each run owns its cluster and scheduler, so results
+// match the serial execution exactly.
+func Fig19With(cfg Fig19Config, pool runner.Pool) (Fig19Result, error) {
 	if cfg.Queries <= 0 || cfg.CatalogSize <= 0 || cfg.CacheCapacity <= 0 {
 		return Fig19Result{}, fmt.Errorf("experiments: non-positive Fig19 parameter")
 	}
@@ -101,24 +111,28 @@ func Fig19(cfg Fig19Config) (Fig19Result, error) {
 		return Fig19Result{}, fmt.Errorf("experiments: cache exactness violated: %w", err)
 	}
 
-	// Baseline: everything to the servers.
-	base, err := lb.Run(cfg.Cluster, lb.PolicyResourceAware, cfg.Queries)
-	if err != nil {
-		return Fig19Result{}, err
-	}
-	// Cached run: installed kinds answered at the switch.
+	// Baseline (everything to the servers) and cached run (installed kinds
+	// answered at the switch). The hits counter is only touched by the
+	// cached run's worker, and Map's completion orders it before the reads
+	// below.
 	hits := 0
-	cached, err := lb.RunIntercepted(cfg.Cluster, lb.PolicyResourceAware, cfg.Queries,
-		func(kind int) (float64, bool) {
-			if cache.Installed(kind) {
-				hits++
-				return cfg.SwitchRTTUs, true
-			}
-			return 0, false
-		})
+	runs, err := runner.Map(pool, 2, func(i int) (*lb.Result, error) {
+		if i == 0 {
+			return lb.Run(cfg.Cluster, lb.PolicyResourceAware, cfg.Queries)
+		}
+		return lb.RunIntercepted(cfg.Cluster, lb.PolicyResourceAware, cfg.Queries,
+			func(kind int) (float64, bool) {
+				if cache.Installed(kind) {
+					hits++
+					return cfg.SwitchRTTUs, true
+				}
+				return 0, false
+			})
+	})
 	if err != nil {
 		return Fig19Result{}, err
 	}
+	base, cached := runs[0], runs[1]
 
 	baseRT := base.ResponseTimesUs(cfg.Cluster.NetRTTUs)
 	cachedRT := cached.ResponseTimesUs(cfg.Cluster.NetRTTUs)

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/experiments/runner"
+	"repro/internal/lb"
+)
+
+// The determinism tests reuse quickNetConfig from experiments_test.go so
+// serial-vs-parallel comparisons finish quickly.
+
+// TestFig17SerialParallelIdentical is the determinism contract of the sweep
+// runner: fanning the (policy, load) grid across workers must reproduce the
+// serial result bit for bit, because every point owns its own scheduler and
+// seed. The pool is forced wider than the grid so points genuinely run
+// concurrently even on a single-CPU machine.
+func TestFig17SerialParallelIdentical(t *testing.T) {
+	cfg := quickNetConfig(11)
+	loads := []float64{0.6, 0.8}
+	serial, err := Fig17(cfg, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Fig17With(cfg, loads, runner.Pool{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel Fig17 diverged from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+	if fmt.Sprint(serial) != fmt.Sprint(parallel) {
+		t.Fatal("rendered reports differ")
+	}
+}
+
+// TestFig18SerialParallelIdentical covers the port-policy grid the same way,
+// including the DRILL policy's per-leaf LFSR state.
+func TestFig18SerialParallelIdentical(t *testing.T) {
+	cfg := quickNetConfig(12)
+	loads := []float64{0.8}
+	serial, err := Fig18(cfg, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Fig18With(cfg, loads, runner.Pool{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel Fig18 diverged from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// TestFig16SerialParallelIdentical covers the two-run experiments' overlap
+// path (Fig16's policy pair).
+func TestFig16SerialParallelIdentical(t *testing.T) {
+	cfg := lb.DefaultClusterConfig(13)
+	serial, err := Fig16(cfg, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Fig16With(cfg, 500, runner.Pool{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel Fig16 diverged from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// TestDrillSweepSerialParallelIdentical covers the (d, m) ablation grid.
+func TestDrillSweepSerialParallelIdentical(t *testing.T) {
+	cfg := quickNetConfig(14)
+	serial, err := DrillSweep(cfg, 0.7, []int{1, 2}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := DrillSweepWith(cfg, 0.7, []int{1, 2}, []int{1, 2}, runner.Pool{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel DrillSweep diverged from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}

@@ -1,0 +1,97 @@
+// Package runner provides a small deterministic worker pool for fanning
+// independent experiment points across CPUs.
+//
+// The paper's evaluation sweeps are embarrassingly parallel: every
+// (policy, load) point of Figures 16–19 builds its own network with its own
+// sim.Scheduler and seed, so points share no mutable state and their results
+// do not depend on execution order. Map exploits that: workers pull indices
+// from an atomic counter and write results into a slice indexed by point, so
+// the output is bit-identical to a serial run regardless of scheduling — the
+// only thing parallelism changes is wall-clock time.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool describes how many workers Map may use. The zero value (and any
+// Workers < 2) runs serially in the calling goroutine.
+type Pool struct {
+	Workers int
+}
+
+// Serial returns a pool that runs every point in the calling goroutine —
+// the reference execution parallel runs are compared against.
+func Serial() Pool { return Pool{Workers: 1} }
+
+// NewPool returns a pool sized to the machine (GOMAXPROCS workers).
+func NewPool() Pool { return Pool{Workers: runtime.GOMAXPROCS(0)} }
+
+// Map evaluates fn(0..n-1) and returns the results in index order. With a
+// serial pool the points run in order in the calling goroutine; otherwise
+// min(Workers, n) goroutines pull indices from a shared counter. fn must be
+// safe to call concurrently for distinct indices (experiment points are:
+// each owns its scheduler, RNGs and network).
+//
+// On error Map stops handing out new indices, waits for in-flight points,
+// and returns the error of the lowest-indexed failed point, so the reported
+// error does not depend on goroutine scheduling either.
+func Map[T any](p Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	workers := p.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 2 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Check the flag before claiming: once an index is claimed it
+				// always runs, so every index below the first failure gets
+				// evaluated and the reported error is schedule-independent.
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

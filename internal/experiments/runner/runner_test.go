@@ -1,0 +1,89 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestMapOrdersResultsByIndex checks results land at their index regardless
+// of worker count.
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		got, err := Map(Pool{Workers: workers}, 50, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("workers=%d: %d results, want 50", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapSerialParallelIdentical checks a parallel pool reproduces the serial
+// pool's output exactly for a deterministic per-index function.
+func TestMapSerialParallelIdentical(t *testing.T) {
+	fn := func(i int) (string, error) {
+		return fmt.Sprintf("point-%d:%d", i, i*31), nil
+	}
+	serial, err := Map(Serial(), 33, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Map(Pool{Workers: 8}, 33, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("index %d: serial %q != parallel %q", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestMapError checks errors propagate and the reported error is the
+// lowest-indexed failure, independent of scheduling.
+func TestMapError(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := Map(Pool{Workers: workers}, 20, func(i int) (int, error) {
+			if i == 3 || i == 17 {
+				return 0, fmt.Errorf("point %d: %w", i, sentinel)
+			}
+			return i, nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v, want wrapped sentinel", workers, err)
+		}
+	}
+	// Serial execution stops at the first failure, so only point 3 can be
+	// reported; the parallel pool keeps that contract by index.
+	_, err := Map(Pool{Workers: 4}, 20, func(i int) (int, error) {
+		if i >= 3 {
+			return 0, fmt.Errorf("point %d failed", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "point 3 failed" {
+		t.Fatalf("err = %v, want lowest-indexed failure (point 3)", err)
+	}
+}
+
+// TestMapEmpty checks the degenerate grid sizes.
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(NewPool(), 0, func(i int) (int, error) { t.Fatal("called"); return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	got, err = Map(Pool{Workers: 16}, 1, func(i int) (int, error) { return 42, nil })
+	if err != nil || len(got) != 1 || got[0] != 42 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}

@@ -46,11 +46,19 @@ func (b *BFPU) Cycles() uint64 { return b.clock.Cycles() }
 // Exec merges the two input tables per the configured opcode, charging
 // BFPUCycles cycles. Inputs must have equal width.
 func (b *BFPU) Exec(in1, in2 *bitvec.Vector) *bitvec.Vector {
+	out := bitvec.New(in1.Len())
+	b.ExecInto(out, in1, in2)
+	return out
+}
+
+// ExecInto is Exec writing its result into a caller-provided vector instead
+// of allocating one — the steady-state datapath. out must have the inputs'
+// width; it may alias in1 or in2 (the operations are word-wise).
+func (b *BFPU) ExecInto(out, in1, in2 *bitvec.Vector) {
 	if in1.Len() != in2.Len() {
 		panic(fmt.Sprintf("filter: BFPU input widths differ: %d vs %d", in1.Len(), in2.Len()))
 	}
 	b.clock.Tick(BFPUCycles)
-	out := bitvec.New(in1.Len())
 	switch b.cfg.Op {
 	case BNoOp:
 		if b.cfg.Choice == 0 {
@@ -65,5 +73,4 @@ func (b *BFPU) Exec(in1, in2 *bitvec.Vector) *bitvec.Vector {
 	case BDiff:
 		out.AndNot(in1, in2)
 	}
-	return out
 }

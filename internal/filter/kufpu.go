@@ -27,6 +27,13 @@ const IOGenCycles = 1
 type KUFPU struct {
 	units []*UFPU
 	table *smbm.SMBM
+
+	// Reusable I/O-generator scratch (width = table capacity): cur holds
+	// the residual input I_i flowing down the chain, unit the current
+	// unit's output O_i before it joins the union. Fixed registers in the
+	// hardware; fixed scratch here so steady-state Exec never allocates.
+	cur  *bitvec.Vector
+	unit *bitvec.Vector
 }
 
 // NewKUFPU creates a parallel chain of maxLen UFPUs over the given table,
@@ -37,7 +44,11 @@ func NewKUFPU(table *smbm.SMBM, maxLen int, cfg UFPUConfig) (*KUFPU, error) {
 	if maxLen <= 0 {
 		return nil, fmt.Errorf("filter: K-UFPU length must be positive, got %d", maxLen)
 	}
-	k := &KUFPU{units: make([]*UFPU, maxLen), table: table}
+	k := &KUFPU{
+		units: make([]*UFPU, maxLen), table: table,
+		cur:  bitvec.New(table.Capacity()),
+		unit: bitvec.New(table.Capacity()),
+	}
 	for i := range k.units {
 		c := cfg
 		c.Seed = cfg.Seed + uint16(i)
@@ -73,20 +84,30 @@ func (k *KUFPU) ResetState() {
 // panics if kActive is outside [0, MaxLen]. kActive = 0 degenerates to an
 // empty output table.
 func (k *KUFPU) Exec(in *bitvec.Vector, kActive int) *bitvec.Vector {
+	out := bitvec.New(in.Len())
+	k.ExecInto(out, in, kActive)
+	return out
+}
+
+// ExecInto is Exec writing its result into a caller-provided vector instead
+// of allocating one — the steady-state datapath. out must have the input's
+// width and must not alias in; any prior contents are overwritten.
+func (k *KUFPU) ExecInto(out, in *bitvec.Vector, kActive int) {
 	if kActive < 0 || kActive > len(k.units) {
 		panic(fmt.Sprintf("filter: K=%d outside [0,%d]", kActive, len(k.units)))
 	}
-	out := bitvec.New(in.Len())
-	cur := in.Clone()
+	out.Reset()
+	cur := k.cur
+	cur.CopyFrom(in)
 	for i := 0; i < kActive; i++ {
-		oi := k.units[i].Exec(cur)
+		oi := k.unit
+		k.units[i].ExecInto(oi, cur)
 		out.Or(out, oi)     // running union (I/O generator)
 		cur.AndNot(cur, oi) // I_{i+1} = I_i − O_i (I/O generator)
 	}
 	// Units beyond kActive execute no-op on the residual input; their
 	// outputs do not join the union (Figure 12's bypass circuit). They
 	// still burn pipeline stages, which Latency accounts for.
-	return out
 }
 
 // Latency returns the end-to-end latency of the chain in clock cycles: every

@@ -36,6 +36,14 @@ type UFPU struct {
 	lastID int
 	w      int64
 	clock  hw.Clock
+
+	// Reusable scratch vectors (width = table capacity), modeling the
+	// unit's fixed temp_list registers: masked holds the input ∧ membership
+	// intersection, valid the per-sorted-position validity bits. Using
+	// fixed scratch instead of fresh allocations keeps steady-state Exec
+	// at zero heap allocations.
+	masked *bitvec.Vector
+	valid  *bitvec.Vector
 }
 
 // NewUFPU creates a UFPU bound to the given resource table with the given
@@ -52,7 +60,11 @@ func NewUFPU(table *smbm.SMBM, cfg UFPUConfig) (*UFPU, error) {
 	if cfg.Op > URandom {
 		return nil, fmt.Errorf("filter: invalid unary opcode %d", cfg.Op)
 	}
-	return &UFPU{cfg: cfg, table: table, lfsr: hw.NewLFSR(cfg.Seed), lastID: -1}, nil
+	return &UFPU{
+		cfg: cfg, table: table, lfsr: hw.NewLFSR(cfg.Seed), lastID: -1,
+		masked: bitvec.New(table.Capacity()),
+		valid:  bitvec.New(table.Capacity()),
+	}, nil
 }
 
 // Config returns the unit's compile-time configuration.
@@ -74,16 +86,29 @@ func (u *UFPU) ResetState() {
 // the SMBM are treated as invalid (masked to NULL in the temp_list, §5.2.1)
 // by every opcode except no-op, which is a pure combinational copy.
 func (u *UFPU) Exec(in *bitvec.Vector) *bitvec.Vector {
+	out := bitvec.New(in.Len())
+	u.ExecInto(out, in)
+	return out
+}
+
+// ExecInto is Exec writing its result into a caller-provided vector instead
+// of allocating one — the steady-state datapath. out must have the input's
+// width and must not alias in (the hardware's output register is distinct
+// from its input bus); any prior contents of out are overwritten.
+func (u *UFPU) ExecInto(out, in *bitvec.Vector) {
 	if in.Len() != u.table.Capacity() {
 		panic(fmt.Sprintf("filter: input width %d != table capacity %d", in.Len(), u.table.Capacity()))
 	}
 	u.clock.Tick(UFPUCycles)
-	out := bitvec.New(in.Len())
 
 	switch u.cfg.Op {
 	case UNoOp:
 		out.CopyFrom(in)
+		return
+	}
+	out.Reset()
 
+	switch u.cfg.Op {
 	case UPredicate:
 		// Cycle 1: copy the attrX dimension into a temp list, masking
 		// entries whose resource is absent from the input vector.
@@ -99,14 +124,15 @@ func (u *UFPU) Exec(in *bitvec.Vector) *bitvec.Vector {
 
 	case UMin, UMax:
 		// Cycle 1: copy sorted attrX list with masking. Cycle 2: priority-
-		// encode the first (min) or last (max) valid entry.
+		// encode the first (min) or last (max) valid entry. The valid
+		// scratch is capacity-wide; only positions < d.Len() are ever set,
+		// so the priority encoders see exactly the sorted list.
 		d := u.table.Dim(u.cfg.Attr)
-		valid := bitvec.New(d.Len())
-		if d.Len() > 0 {
-			for p := 0; p < d.Len(); p++ {
-				if in.Get(d.ID(p)) {
-					valid.Set(p)
-				}
+		valid := u.valid
+		valid.Reset()
+		for p := 0; p < d.Len(); p++ {
+			if in.Get(d.ID(p)) {
+				valid.Set(p)
 			}
 		}
 		var pos int
@@ -133,7 +159,6 @@ func (u *UFPU) Exec(in *bitvec.Vector) *bitvec.Vector {
 			out.Set(i)
 		}
 	}
-	return out
 }
 
 // execRoundRobin implements the weighted round-robin datapath of §5.2.1.
@@ -157,14 +182,7 @@ func (u *UFPU) execRoundRobin(in, out *bitvec.Vector) {
 	if !masked.Any() {
 		return
 	}
-	weight := func(id int) int64 {
-		v, ok := u.table.Value(id, u.cfg.Attr)
-		if !ok {
-			return 0
-		}
-		return v
-	}
-	if u.lastID >= 0 && masked.Get(u.lastID) && u.w <= weight(u.lastID) {
+	if u.lastID >= 0 && masked.Get(u.lastID) && u.w <= u.weightOf(u.lastID) {
 		out.Set(u.lastID)
 		u.w++
 		return
@@ -178,13 +196,22 @@ func (u *UFPU) execRoundRobin(in, out *bitvec.Vector) {
 	u.lastID, u.w = i, 1
 }
 
+// weightOf returns a resource's round-robin weight (its attrX value), or 0
+// if the resource left the table.
+func (u *UFPU) weightOf(id int) int64 {
+	v, ok := u.table.Value(id, u.cfg.Attr)
+	if !ok {
+		return 0
+	}
+	return v
+}
+
 // maskToMembers intersects the input vector with the table's current
 // membership, modeling the NULL-masking the reverse map performs on the
 // temp_list for ids that are set in the input vector but absent from the
-// table.
+// table. The result lives in the unit's masked scratch register and is
+// valid until the next Exec.
 func (u *UFPU) maskToMembers(in *bitvec.Vector) *bitvec.Vector {
-	members := u.table.Members()
-	masked := bitvec.New(in.Len())
-	masked.And(in, members)
-	return masked
+	u.masked.And(in, u.table.MembersView())
+	return u.masked
 }

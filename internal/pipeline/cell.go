@@ -57,6 +57,11 @@ type Cell struct {
 	cfg    CellConfig
 	u1, u2 *filter.KUFPU
 	b1, b2 *filter.BFPU
+
+	// t1/t2 model the registers between the K-UFPUs and the BFPUs; both
+	// BFPUs read both, so they must survive until the second BFPU fires.
+	// Fixed scratch keeps the steady-state datapath allocation-free.
+	t1, t2 *bitvec.Vector
 }
 
 // NewCell instantiates a Cell over the given table. maxChain is the physical
@@ -83,7 +88,11 @@ func NewCell(table *smbm.SMBM, maxChain int, cfg CellConfig) (*Cell, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: cell BFPU 2: %w", err)
 	}
-	return &Cell{cfg: cfg, u1: u1, u2: u2, b1: b1, b2: b2}, nil
+	return &Cell{
+		cfg: cfg, u1: u1, u2: u2, b1: b1, b2: b2,
+		t1: bitvec.New(table.Capacity()),
+		t2: bitvec.New(table.Capacity()),
+	}, nil
 }
 
 // Config returns the cell's compile-time configuration.
@@ -91,12 +100,24 @@ func (c *Cell) Config() CellConfig { return c.cfg }
 
 // Exec runs one packet's tables through the cell.
 func (c *Cell) Exec(in1, in2 *bitvec.Vector) (out1, out2 *bitvec.Vector) {
+	out1 = bitvec.New(in1.Len())
+	out2 = bitvec.New(in2.Len())
+	c.ExecInto(out1, out2, in1, in2)
+	return out1, out2
+}
+
+// ExecInto is Exec writing the cell's two outputs into caller-provided
+// vectors instead of allocating them — the steady-state datapath. out1 and
+// out2 must not alias the inputs or each other; prior contents are
+// overwritten.
+func (c *Cell) ExecInto(out1, out2, in1, in2 *bitvec.Vector) {
 	if c.cfg.SwapInputs {
 		in1, in2 = in2, in1
 	}
-	t1 := c.u1.Exec(in1, c.cfg.U1.K)
-	t2 := c.u2.Exec(in2, c.cfg.U2.K)
-	return c.b1.Exec(t1, t2), c.b2.Exec(t1, t2)
+	c.u1.ExecInto(c.t1, in1, c.cfg.U1.K)
+	c.u2.ExecInto(c.t2, in2, c.cfg.U2.K)
+	c.b1.ExecInto(out1, c.t1, c.t2)
+	c.b2.ExecInto(out2, c.t1, c.t2)
 }
 
 // Latency returns the cell's pipeline latency in clock cycles: the K-UFPU

@@ -118,6 +118,17 @@ type Pipeline struct {
 	stages  [][]*Cell        // [stage][cell]
 	xbars   []*benes.Network // per-stage crossbar, for realizability + area
 	xbarLat uint64
+
+	// Reusable datapath registers: stages alternate between the two banks
+	// of n line vectors (stage s reads bank s−1 mod 2, writes bank s mod 2),
+	// so no stage ever writes a vector it is reading. inRefs and lineRefs
+	// are scratch reference slices for the stage-0 sources and per-stage
+	// crossbar gather; empty is the all-zeros table fed to unconnected
+	// inputs. Together they make steady-state Exec allocation-free.
+	banks    [2][]*bitvec.Vector
+	inRefs   []*bitvec.Vector
+	lineRefs []*bitvec.Vector
+	empty    *bitvec.Vector
 }
 
 // CrossbarCycles is the latency charged per stage crossbar traversal. The
@@ -154,6 +165,16 @@ func New(table *smbm.SMBM, cfg Config) (*Pipeline, error) {
 		}
 		p.xbars = append(p.xbars, xb)
 	}
+	width := table.Capacity()
+	for b := range p.banks {
+		p.banks[b] = make([]*bitvec.Vector, n)
+		for i := range p.banks[b] {
+			p.banks[b][i] = bitvec.New(width)
+		}
+	}
+	p.inRefs = make([]*bitvec.Vector, n)
+	p.lineRefs = make([]*bitvec.Vector, n)
+	p.empty = bitvec.New(width)
 	return p, nil
 }
 
@@ -196,16 +217,21 @@ func (p *Pipeline) Table() *smbm.SMBM { return p.table }
 // Exec pushes one packet's worth of tables through the pipeline. inputs
 // must contain n vectors (nil entries are treated as empty tables); the
 // returned slice holds the n output tables of the final stage.
+//
+// The returned slice and its vectors are the pipeline's own stage registers:
+// they are valid until the next Exec call, which overwrites them. Callers
+// must copy anything they need to keep and must not feed returned vectors
+// back in as inputs. Inputs are never written.
 func (p *Pipeline) Exec(inputs []*bitvec.Vector) ([]*bitvec.Vector, error) {
 	n := p.cfg.Params.Inputs
 	width := p.table.Capacity()
 	if len(inputs) != n {
 		return nil, fmt.Errorf("pipeline: %d inputs, want %d", len(inputs), n)
 	}
-	cur := make([]*bitvec.Vector, n)
+	cur := p.inRefs
 	for i, in := range inputs {
 		if in == nil {
-			cur[i] = bitvec.New(width)
+			cur[i] = p.empty
 			continue
 		}
 		if in.Len() != width {
@@ -214,22 +240,20 @@ func (p *Pipeline) Exec(inputs []*bitvec.Vector) ([]*bitvec.Vector, error) {
 		cur[i] = in
 	}
 
-	empty := bitvec.New(width)
 	for si, cells := range p.stages {
 		sc := p.cfg.Stages[si]
 		// Crossbar: gather cell input lines from logical sources.
-		lines := make([]*bitvec.Vector, n)
+		lines := p.lineRefs
 		for li, src := range sc.Sources {
 			if src == -1 {
-				lines[li] = empty
+				lines[li] = p.empty
 			} else {
 				lines[li] = cur[src]
 			}
 		}
-		next := make([]*bitvec.Vector, n)
+		next := p.banks[si%2]
 		for ci, cell := range cells {
-			o1, o2 := cell.Exec(lines[2*ci], lines[2*ci+1])
-			next[2*ci], next[2*ci+1] = o1, o2
+			cell.ExecInto(next[2*ci], next[2*ci+1], lines[2*ci], lines[2*ci+1])
 		}
 		cur = next
 	}

@@ -17,6 +17,8 @@ type Compiled struct {
 	Schema      Schema
 	Config      pipeline.Config
 	OutputLines []int // OutputLines[i] = final-stage line carrying output i
+
+	ins []*bitvec.Vector // reusable input-line slice for RunInto
 }
 
 // Compile maps a policy's expression DAG onto a pipeline with the given
@@ -78,22 +80,41 @@ func NewPipeline(table *smbm.SMBM, schema Schema, p *Policy, params pipeline.Par
 // pipeline input line is fed the table's current membership (as in
 // Figure 14, where the SMBM table drives all pipeline inputs) and the
 // policy's outputs are extracted from their assigned final-stage lines.
+//
+// The returned vectors are the pipeline's stage registers: valid until the
+// pipeline's next execution, which overwrites them.
 func (c *Compiled) Run(pl *pipeline.Pipeline) ([]*bitvec.Vector, error) {
-	n := c.Config.Params.Inputs
-	members := pl.Table().Members()
-	ins := make([]*bitvec.Vector, n)
-	for i := range ins {
-		ins[i] = members
-	}
-	raw, err := pl.Exec(ins)
-	if err != nil {
+	outs := make([]*bitvec.Vector, len(c.OutputLines))
+	if err := c.RunInto(outs, pl); err != nil {
 		return nil, err
 	}
-	outs := make([]*bitvec.Vector, len(c.OutputLines))
-	for i, ln := range c.OutputLines {
-		outs[i] = raw[ln]
-	}
 	return outs, nil
+}
+
+// RunInto is Run writing the output-table references into a caller-provided
+// slice (len = number of policy outputs) instead of allocating one — the
+// steady-state datapath. The pipeline reads the table's live membership view
+// directly, so a full filter evaluation allocates nothing.
+func (c *Compiled) RunInto(dst []*bitvec.Vector, pl *pipeline.Pipeline) error {
+	if len(dst) != len(c.OutputLines) {
+		return fmt.Errorf("policy: dst holds %d outputs, policy has %d", len(dst), len(c.OutputLines))
+	}
+	n := c.Config.Params.Inputs
+	if c.ins == nil {
+		c.ins = make([]*bitvec.Vector, n)
+	}
+	members := pl.Table().MembersView()
+	for i := range c.ins {
+		c.ins[i] = members
+	}
+	raw, err := pl.Exec(c.ins)
+	if err != nil {
+		return err
+	}
+	for i, ln := range c.OutputLines {
+		dst[i] = raw[ln]
+	}
+	return nil
 }
 
 type compiler struct {

@@ -2,7 +2,6 @@ package policy
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/bitvec"
 	"repro/internal/filter"
@@ -17,13 +16,38 @@ import (
 //
 // Stateful operators (round-robin, random) keep per-node state across Exec
 // calls, exactly as a configured hardware unit would across packets.
+//
+// Construction flattens the expression DAG into a linear program (one step
+// per node, in dependency order) with a fixed result buffer per step, so
+// steady-state Exec touches no maps and performs no heap allocations.
 type Interp struct {
 	table  *smbm.SMBM
 	schema Schema
 	policy *Policy
-	units  map[*Unary]*filter.KUFPU
-	bins   map[*Binary]*filter.BFPU
+	prog   []interpStep
+	vals   []*bitvec.Vector // vals[i] = result buffer of step i, fixed at build
+	outIdx []int            // per policy output, its producing step index
+	outs   []*bitvec.Vector // reusable result slice handed out by Exec
 }
+
+// interpStep is one instruction of the flattened evaluation program. Table
+// steps are free at run time (their value slot is the SMBM's live membership
+// view); unary/binary steps run their dedicated unit into the step's buffer.
+type interpStep struct {
+	kind stepKind
+	unit *filter.KUFPU // stepUnary
+	k    int           // stepUnary: active chain length
+	bin  *filter.BFPU  // stepBinary
+	a, b int           // operand step indices (a only, for stepUnary)
+}
+
+type stepKind uint8
+
+const (
+	stepTable stepKind = iota
+	stepUnary
+	stepBinary
+)
 
 // NewInterp builds an interpreter for the policy over the given table. The
 // policy is validated against the schema; every unary node gets a dedicated
@@ -37,54 +61,70 @@ func NewInterp(table *smbm.SMBM, schema Schema, p *Policy) (*Interp, error) {
 		return nil, fmt.Errorf("policy: schema has %d attributes, table has %d metrics",
 			len(schema.Attrs), table.NumMetrics())
 	}
-	it := &Interp{
-		table:  table,
-		schema: schema,
-		policy: p,
-		units:  make(map[*Unary]*filter.KUFPU),
-		bins:   make(map[*Binary]*filter.BFPU),
-	}
+	it := &Interp{table: table, schema: schema, policy: p}
 	seeds := AssignSeeds(p)
-	var build func(e Expr) error
-	build = func(e Expr) error {
+	idx := make(map[Expr]int) // build-time only; Exec never touches maps
+	var build func(e Expr) (int, error)
+	build = func(e Expr) (int, error) {
+		if i, done := idx[e]; done {
+			return i, nil
+		}
 		switch n := e.(type) {
 		case *Table:
-			return nil
+			i := len(it.prog)
+			it.prog = append(it.prog, interpStep{kind: stepTable})
+			// The live membership view is stable across Add/Delete, so the
+			// value slot can be bound once at build time.
+			it.vals = append(it.vals, table.MembersView())
+			idx[e] = i
+			return i, nil
 		case *Unary:
-			if _, done := it.units[n]; done {
-				return nil
+			a, err := build(n.Input)
+			if err != nil {
+				return 0, err
 			}
 			cfg, k, err := unaryConfig(n, it.schema, seeds)
 			if err != nil {
-				return err
+				return 0, err
 			}
 			u, err := filter.NewKUFPU(table, k, cfg)
 			if err != nil {
-				return err
+				return 0, err
 			}
-			it.units[n] = u
-			return build(n.Input)
+			i := len(it.prog)
+			it.prog = append(it.prog, interpStep{kind: stepUnary, unit: u, k: k, a: a})
+			it.vals = append(it.vals, bitvec.New(table.Capacity()))
+			idx[e] = i
+			return i, nil
 		case *Binary:
-			if _, done := it.bins[n]; done {
-				return nil
+			a, err := build(n.Left)
+			if err != nil {
+				return 0, err
+			}
+			bIdx, err := build(n.Right)
+			if err != nil {
+				return 0, err
 			}
 			b, err := filter.NewBFPU(filter.BFPUConfig{Op: n.Op, Choice: n.Choice})
 			if err != nil {
-				return err
+				return 0, err
 			}
-			it.bins[n] = b
-			if err := build(n.Left); err != nil {
-				return err
-			}
-			return build(n.Right)
+			i := len(it.prog)
+			it.prog = append(it.prog, interpStep{kind: stepBinary, bin: b, a: a, b: bIdx})
+			it.vals = append(it.vals, bitvec.New(table.Capacity()))
+			idx[e] = i
+			return i, nil
 		}
-		return fmt.Errorf("policy: unknown expression type %T", e)
+		return 0, fmt.Errorf("policy: unknown expression type %T", e)
 	}
 	for _, o := range p.Outputs {
-		if err := build(o.Expr); err != nil {
+		si, err := build(o.Expr)
+		if err != nil {
 			return nil, err
 		}
+		it.outIdx = append(it.outIdx, si)
 	}
+	it.outs = make([]*bitvec.Vector, len(p.Outputs))
 	return it, nil
 }
 
@@ -154,47 +194,33 @@ func (it *Interp) Policy() *Policy { return it.policy }
 // Exec evaluates every output against the table's current contents and
 // returns one table (bit vector) per output, in output order. Shared
 // subexpressions are evaluated once per call.
+//
+// The returned slice and the vectors it holds are the interpreter's own
+// reusable buffers: they are valid until the next Exec call, which
+// overwrites them. Callers must copy anything they need to keep.
 func (it *Interp) Exec() []*bitvec.Vector {
-	memo := make(map[Expr]*bitvec.Vector)
-	var eval func(e Expr) *bitvec.Vector
-	eval = func(e Expr) *bitvec.Vector {
-		if v, ok := memo[e]; ok {
-			return v
+	for i := range it.prog {
+		st := &it.prog[i]
+		switch st.kind {
+		case stepUnary:
+			st.unit.ExecInto(it.vals[i], it.vals[st.a], st.k)
+		case stepBinary:
+			st.bin.ExecInto(it.vals[i], it.vals[st.a], it.vals[st.b])
 		}
-		var v *bitvec.Vector
-		switch n := e.(type) {
-		case *Table:
-			v = it.table.Members()
-		case *Unary:
-			k := n.K
-			if k < 1 {
-				k = 1
-			}
-			v = it.units[n].Exec(eval(n.Input), k)
-		case *Binary:
-			v = it.bins[n].Exec(eval(n.Left), eval(n.Right))
-		}
-		memo[e] = v
-		return v
 	}
-	outs := make([]*bitvec.Vector, len(it.policy.Outputs))
-	for i, o := range it.policy.Outputs {
-		outs[i] = eval(o.Expr)
+	for i, si := range it.outIdx {
+		it.outs[i] = it.vals[si]
 	}
-	return outs
+	return it.outs
 }
 
-// ResetState resets all stateful units (round-robin pointers, LFSRs).
+// ResetState resets all stateful units (round-robin pointers, LFSRs) in
+// program (dependency) order, which is deterministic by construction.
 func (it *Interp) ResetState() {
-	keys := make([]*Unary, 0, len(it.units))
-	for n := range it.units {
-		keys = append(keys, n)
-	}
-	// Deterministic order is irrelevant for reset but keeps behaviour
-	// reproducible under -race scheduling of tests.
-	sort.Slice(keys, func(i, j int) bool { return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j]) })
-	for _, n := range keys {
-		it.units[n].ResetState()
+	for i := range it.prog {
+		if it.prog[i].kind == stepUnary {
+			it.prog[i].unit.ResetState()
+		}
 	}
 }
 
@@ -209,12 +235,15 @@ func Resolve(p *Policy, outs []*bitvec.Vector, i int) *bitvec.Vector {
 	if i < 0 || i >= len(outs) {
 		panic(fmt.Sprintf("policy: output index %d out of range", i))
 	}
-	seen := make(map[int]bool)
-	for {
-		if outs[i].Any() || p.FallbackOf == nil || p.FallbackOf[i] == -1 || seen[i] {
+	// Follow fallback edges for at most len(outs) hops: any longer chain must
+	// have revisited an output, which terminates resolution. Every table on
+	// such a cycle is empty, so stopping anywhere on it yields the same
+	// (empty) result — without a per-call visited map.
+	for hops := 0; hops < len(outs); hops++ {
+		if outs[i].Any() || p.FallbackOf == nil || p.FallbackOf[i] == -1 {
 			return outs[i]
 		}
-		seen[i] = true
 		i = p.FallbackOf[i]
 	}
+	return outs[i]
 }

@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// oracleEvent / oracleQueue replicate the seed implementation of the event
+// queue (container/heap over boxed *event pointers) so the index-based
+// 4-ary heap can be checked against it on randomized workloads.
+type oracleEvent struct {
+	at  Time
+	seq uint64
+	id  int
+}
+
+type oracleQueue []*oracleEvent
+
+func (q oracleQueue) Len() int { return len(q) }
+func (q oracleQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q oracleQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *oracleQueue) Push(x any)   { *q = append(*q, x.(*oracleEvent)) }
+func (q *oracleQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// TestHeapMatchesOracle drives the scheduler and the old container/heap
+// implementation through identical randomized interleavings of scheduling
+// and draining, and requires the exact same execution order — including the
+// FIFO tie-break for simultaneous events, which the workload provokes by
+// drawing timestamps from a tiny range.
+func TestHeapMatchesOracle(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		r := rand.New(rand.NewSource(int64(trial)))
+		s := New(1)
+		var oracle oracleQueue
+		var oracleSeq uint64
+		var got, want []int
+
+		nextID := 0
+		schedule := func(n int) {
+			for i := 0; i < n; i++ {
+				id := nextID
+				nextID++
+				d := Time(r.Intn(8)) // tiny range → many ties
+				s.After(d, func() { got = append(got, id) })
+				oracleSeq++
+				heap.Push(&oracle, &oracleEvent{at: s.Now() + d, seq: oracleSeq, id: id})
+			}
+		}
+		drainOracle := func(deadline Time) {
+			for oracle.Len() > 0 && oracle[0].at <= deadline {
+				e := heap.Pop(&oracle).(*oracleEvent)
+				want = append(want, e.id)
+			}
+		}
+
+		// Interleave bursts of scheduling with partial drains, so the heap
+		// and free-list see growth, shrinkage and slot reuse.
+		for phase := 0; phase < 20; phase++ {
+			schedule(1 + r.Intn(30))
+			deadline := s.Now() + Time(r.Intn(6))
+			s.RunUntil(deadline)
+			drainOracle(deadline)
+		}
+		s.Run()
+		drainOracle(MaxTime)
+
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: executed %d events, oracle %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: order diverges at %d: got %v..., want %v...",
+					trial, i, got[max(0, i-3):i+1], want[max(0, i-3):i+1])
+			}
+		}
+	}
+}
+
+// TestRunUntilMatchesOracleDeadlines checks that RunUntil still executes
+// exactly the events with timestamps ≤ deadline, advances Now to the
+// deadline, and leaves later events queued — with events scheduled from
+// within events.
+func TestRunUntilMatchesOracleDeadlines(t *testing.T) {
+	s := New(1)
+	var fired []Time
+	var chain func()
+	chain = func() {
+		fired = append(fired, s.Now())
+		if s.Now() < 100 {
+			s.After(10, chain)
+		}
+	}
+	s.At(5, chain)
+	if n := s.RunUntil(35); n != 4 { // 5, 15, 25, 35
+		t.Fatalf("executed %d events, want 4", n)
+	}
+	if s.Now() != 35 {
+		t.Fatalf("Now = %v, want 35", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1 (the t=45 link)", s.Pending())
+	}
+	s.Run()
+	if last := fired[len(fired)-1]; last != 105 {
+		t.Fatalf("chain ended at %v, want 105", last)
+	}
+	if s.Now() != 105 {
+		t.Fatalf("Now = %v after Run, want 105 (time of last event)", s.Now())
+	}
+}
+
+// TestSlotReuse checks the free-list actually recycles arena slots: after a
+// schedule/drain cycle the arena must not keep growing.
+func TestSlotReuse(t *testing.T) {
+	s := New(1)
+	fn := func() {}
+	for i := 0; i < 100; i++ {
+		s.After(Time(i), fn)
+	}
+	s.Run()
+	grown := len(s.events)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 100; i++ {
+			s.After(Time(i), fn)
+		}
+		s.Run()
+	}
+	if len(s.events) != grown {
+		t.Fatalf("arena grew from %d to %d slots across identical cycles", grown, len(s.events))
+	}
+}
+
+// TestMaxTime pins the exported constant to the seed's magic deadline so
+// Run semantics are unchanged.
+func TestMaxTime(t *testing.T) {
+	if MaxTime != Time(1<<62-1) {
+		t.Fatalf("MaxTime = %d, want 1<<62-1", int64(MaxTime))
+	}
+	s := New(1)
+	var ran bool
+	s.At(MaxTime, func() { ran = true })
+	s.Run()
+	if !ran {
+		t.Fatal("event at MaxTime should run under Run")
+	}
+}
+
+// TestSchedulerZeroAllocSteadyState asserts the zero-allocation contract of
+// the event kernel: once the arena and heap have warmed up, After/Run
+// cycles allocate nothing (the caller's closure is hoisted out of the loop,
+// as the simulator's own hot paths do).
+func TestSchedulerZeroAllocSteadyState(t *testing.T) {
+	s := New(1)
+	fn := func() {}
+	// Warm the arena, heap and events slice past their steady-state sizes.
+	for i := 0; i < 1000; i++ {
+		s.After(Time(i%50), fn)
+	}
+	s.Run()
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 20; i++ {
+			s.After(Time(i%7), fn)
+		}
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state After/Run allocates %.1f times per cycle, want 0", allocs)
+	}
+
+	// RunUntil windows (the experiment harness's draining pattern) must be
+	// allocation-free too.
+	allocs = testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 20; i++ {
+			s.After(Time(i%7), fn)
+		}
+		s.RunUntil(s.Now() + 10)
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state RunUntil allocates %.1f times per cycle, want 0", allocs)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

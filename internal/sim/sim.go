@@ -3,10 +3,15 @@
 // deterministic FIFO tie-breaking, nanosecond-resolution virtual time, and a
 // seeded random source, so every experiment in the harness is exactly
 // reproducible.
+//
+// The event queue is an index-based 4-ary min-heap over an event arena with
+// a free-list: scheduling an event writes into a recycled arena slot and
+// pushes a small integer onto the heap, so the steady-state cost of
+// After/Run cycles is zero heap allocations (the caller's closure aside) and
+// sift operations move 4-byte indices instead of interface-boxed pointers.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -21,6 +26,10 @@ const (
 	Millisecond Time = 1000 * 1000
 	Second      Time = 1000 * 1000 * 1000
 )
+
+// MaxTime is the largest representable virtual time. Run uses it as its
+// deadline, and callers can use it as an "unbounded" sentinel for RunUntil.
+const MaxTime = Time(1<<62 - 1)
 
 // String renders the time with a readable unit.
 func (t Time) String() string {
@@ -38,38 +47,30 @@ func (t Time) String() string {
 // Seconds converts to floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
+// event is one arena slot. While queued, at/seq/fn are live; while free,
+// next links the slot into the free-list.
 type event struct {
-	at  Time
-	seq uint64 // FIFO tie-break for simultaneous events
-	fn  func()
+	at   Time
+	seq  uint64 // FIFO tie-break for simultaneous events
+	fn   func()
+	next int32 // free-list link, -1 terminates
 }
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
 
 // Scheduler executes events in virtual-time order. The zero value is not
 // usable; construct with New.
 type Scheduler struct {
 	now     Time
 	seq     uint64
-	queue   eventQueue
+	events  []event // arena; indices are stable between heap operations
+	heap    []int32 // 4-ary min-heap of arena indices, ordered by (at, seq)
+	free    int32   // head of the free-list of arena slots, -1 when empty
 	stopped bool
 	rng     *rand.Rand
 }
 
 // New returns a scheduler at time zero with a deterministic random source.
 func New(seed int64) *Scheduler {
-	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+	return &Scheduler{free: -1, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Now returns the current virtual time.
@@ -85,7 +86,18 @@ func (s *Scheduler) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+	var idx int32
+	if s.free >= 0 {
+		idx = s.free
+		s.free = s.events[idx].next
+	} else {
+		s.events = append(s.events, event{})
+		idx = int32(len(s.events) - 1)
+	}
+	e := &s.events[idx]
+	e.at, e.seq, e.fn = t, s.seq, fn
+	s.heap = append(s.heap, idx)
+	s.siftUp(len(s.heap) - 1)
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -97,7 +109,7 @@ func (s *Scheduler) After(d Time, fn func()) {
 }
 
 // Pending returns the number of queued events.
-func (s *Scheduler) Pending() int { return len(s.queue) }
+func (s *Scheduler) Pending() int { return len(s.heap) }
 
 // Stop makes the current Run/RunUntil call return after the in-progress
 // event completes.
@@ -106,7 +118,7 @@ func (s *Scheduler) Stop() { s.stopped = true }
 // Run executes events until the queue empties or Stop is called, leaving
 // Now at the time of the last executed event. It returns the number of
 // events executed.
-func (s *Scheduler) Run() int { return s.run(Time(1<<62-1), false) }
+func (s *Scheduler) Run() int { return s.run(MaxTime, false) }
 
 // RunUntil executes events with timestamps ≤ deadline, stopping when the
 // queue empties, Stop is called, or the next event lies beyond the
@@ -117,19 +129,86 @@ func (s *Scheduler) RunUntil(deadline Time) int { return s.run(deadline, true) }
 func (s *Scheduler) run(deadline Time, advance bool) int {
 	s.stopped = false
 	count := 0
-	for len(s.queue) > 0 && !s.stopped {
-		next := s.queue[0]
-		if next.at > deadline {
+	for len(s.heap) > 0 && !s.stopped {
+		top := s.heap[0]
+		at := s.events[top].at
+		if at > deadline {
 			s.now = deadline
 			return count
 		}
-		heap.Pop(&s.queue)
-		s.now = next.at
-		next.fn()
+		s.popRoot()
+		// Copy the callback and recycle the slot before invoking it, so a
+		// nested At/After inside fn can reuse the arena immediately.
+		fn := s.events[top].fn
+		s.events[top].fn = nil // release the closure for GC
+		s.events[top].next = s.free
+		s.free = top
+		s.now = at
+		fn()
 		count++
 	}
 	if advance && !s.stopped && s.now < deadline {
 		s.now = deadline
 	}
 	return count
+}
+
+// less orders arena slots by (at, seq); seq is unique, so the order is a
+// strict total order and heap layout differences can never change the
+// execution order.
+func (s *Scheduler) less(a, b int32) bool {
+	ea, eb := &s.events[a], &s.events[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+// popRoot removes the minimum element from the heap (the caller has already
+// read s.heap[0]).
+func (s *Scheduler) popRoot() {
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap = s.heap[:last]
+	if last > 0 {
+		s.siftDown(0)
+	}
+}
+
+func (s *Scheduler) siftUp(i int) {
+	h := s.heap
+	for i > 0 {
+		p := (i - 1) / 4
+		if !s.less(h[i], h[p]) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (s *Scheduler) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if s.less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !s.less(h[best], h[i]) {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
 }

@@ -61,6 +61,8 @@ type SMBM struct {
 	n, m    int
 	ids     []idEntry
 	metrics [][]metricEntry
+	members *bitvec.Vector // maintained incrementally by Add/Delete
+	spare   [][]int        // metricPos slices recycled from deleted entries
 	clock   hw.Clock
 }
 
@@ -73,7 +75,7 @@ func New(n, m int) *SMBM {
 	if m < 0 {
 		panic("smbm: metric count must be non-negative")
 	}
-	s := &SMBM{n: n, m: m, metrics: make([][]metricEntry, m)}
+	s := &SMBM{n: n, m: m, metrics: make([][]metricEntry, m), members: bitvec.New(n)}
 	return s
 }
 
@@ -114,7 +116,15 @@ func (s *SMBM) Add(id int, metrics []int64) error {
 	// FIFO tie-break: a new value goes after all existing equal values, so
 	// we search for the first strictly greater entry.
 	idPos := sort.Search(len(s.ids), func(i int) bool { return s.ids[i].id > id })
-	mPos := make([]int, s.m)
+	var mPos []int
+	if k := len(s.spare); k > 0 {
+		// Reuse a deleted entry's pointer slice so the delete+add Update
+		// cycle (§5.1.2) is allocation-free in steady state.
+		mPos = s.spare[k-1]
+		s.spare = s.spare[:k-1]
+	} else {
+		mPos = make([]int, s.m)
+	}
 	for j := 0; j < s.m; j++ {
 		v := metrics[j]
 		col := s.metrics[j]
@@ -152,6 +162,7 @@ func (s *SMBM) Add(id int, metrics []int64) error {
 		col[p] = metricEntry{val: metrics[j], idPos: idPos}
 		s.metrics[j] = col
 	}
+	s.members.Set(id)
 
 	s.clock.Tick(WriteCycles)
 	return nil
@@ -178,7 +189,9 @@ func (s *SMBM) Delete(id int) error {
 			}
 		}
 	}
-	// Remove from the id dimension, fixing reverse pointers.
+	// Remove from the id dimension, fixing reverse pointers. The removed
+	// entry's pointer slice goes to the spare pool for the next Add.
+	s.spare = append(s.spare, s.ids[idPos].metricPos)
 	copy(s.ids[idPos:], s.ids[idPos+1:])
 	s.ids = s.ids[:len(s.ids)-1]
 	for j := range s.metrics {
@@ -188,6 +201,7 @@ func (s *SMBM) Delete(id int) error {
 			}
 		}
 	}
+	s.members.Clear(id)
 
 	s.clock.Tick(WriteCycles)
 	return nil
@@ -250,13 +264,24 @@ func (s *SMBM) Value(id, dim int) (val int64, ok bool) {
 
 // Members returns a bit vector of width Capacity() with a 1 for each
 // resource id currently present — the encoding of the full table that feeds
-// the filter pipeline.
+// the filter pipeline. The result is a fresh copy the caller may mutate;
+// allocation-free readers use MembersInto or MembersView.
 func (s *SMBM) Members() *bitvec.Vector {
-	v := bitvec.New(s.n)
-	for i := range s.ids {
-		v.Set(s.ids[i].id)
-	}
-	return v
+	return s.members.Clone()
+}
+
+// MembersInto overwrites dst with the current membership vector. dst must
+// have width Capacity().
+func (s *SMBM) MembersInto(dst *bitvec.Vector) {
+	dst.CopyFrom(s.members)
+}
+
+// MembersView returns the table's internal membership vector, maintained
+// incrementally by Add and Delete. The caller must treat it as read-only;
+// it changes in place on every table write. It exists so the per-packet
+// filter datapath can mask inputs against membership without allocating.
+func (s *SMBM) MembersView() *bitvec.Vector {
+	return s.members
 }
 
 // Dim provides read access to one sorted metric dimension, the view a UFPU
@@ -333,6 +358,14 @@ func (s *SMBM) CheckInvariants() error {
 		}
 		if len(s.ids[i].metricPos) != s.m {
 			return fmt.Errorf("id %d has %d metric pointers, want %d", s.ids[i].id, len(s.ids[i].metricPos), s.m)
+		}
+	}
+	if s.members.Count() != len(s.ids) {
+		return fmt.Errorf("membership vector has %d bits set, id dim has %d", s.members.Count(), len(s.ids))
+	}
+	for i := range s.ids {
+		if !s.members.Get(s.ids[i].id) {
+			return fmt.Errorf("membership vector missing id %d", s.ids[i].id)
 		}
 	}
 	return nil
