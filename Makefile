@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: build test bench check
+.PHONY: build test bench check fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -11,9 +12,16 @@ test:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# check is the PR gate: static analysis plus race-enabled tests over the
-# event kernel and the parallel experiment sweeps (the two subsystems with
-# concurrency-sensitive invariants).
-check:
+# check is the PR gate: build, static analysis, and race-enabled tests over
+# the whole tree — the sharded decision engine, the replica broadcast mode
+# and the event kernel all carry concurrency-sensitive invariants.
+check: build
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sim/... ./internal/experiments/...
+	$(GO) test -race ./...
+
+# fuzz-smoke runs each native fuzz target for FUZZTIME (30s default) from
+# its checked-in seed corpus: the DSL parser round-trip and the bit-vector
+# word-boundary model check.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=^FuzzParse$$ -fuzztime=$(FUZZTIME) ./internal/policy/
+	$(GO) test -run=^$$ -fuzz=^FuzzVectorOps$$ -fuzztime=$(FUZZTIME) ./internal/bitvec/

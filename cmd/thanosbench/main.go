@@ -15,6 +15,8 @@
 //	thanosbench -exp fig16 -seed 7   # change the workload seed
 //	thanosbench -parallel=false      # force serial sweeps
 //	thanosbench -benchjson out.json  # machine-readable results ("-" = stdout)
+//	thanosbench -engine -shards 8    # sharded decision-engine throughput sweep
+//	                                 # (1..8 shards; also reachable as -exp engine)
 package main
 
 import (
@@ -61,6 +63,8 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller network runs (for smoke testing)")
 	parallel := flag.Bool("parallel", true, "fan independent experiment points across CPUs")
 	benchjson := flag.String("benchjson", "", "write machine-readable results as JSON to this file (\"-\" for stdout)")
+	engineFlag := flag.Bool("engine", false, "run the sharded decision-engine throughput sweep (shorthand for -exp engine)")
+	shards := flag.Int("shards", 8, "maximum shard count for the engine sweep (sweeps powers of two up to this)")
 	flag.Parse()
 
 	pool := runner.Serial()
@@ -100,14 +104,26 @@ func main() {
 			return drillResult(pts), err
 		},
 		"ablation": func() (any, error) { return ablationReport(), nil },
+		"engine": func() (any, error) {
+			batch, batches := 4096, 200
+			if *quick {
+				batches = 20
+			}
+			return experiments.EngineSweep(experiments.EngineShardCounts(*shards), batch, 64, batches, *seed)
+		},
 	}
 
+	// "engine" is a host-machine microbenchmark, not a paper reproduction,
+	// so "all" does not include it; select it with -engine or -exp engine.
 	names := []string{"table1", "table2", "table3", "table4", "table5",
 		"fig16", "fig17", "fig18", "fig19", "drillsweep", "ablation"}
 	var selected []string
-	if *exp == "all" {
+	switch {
+	case *engineFlag:
+		selected = []string{"engine"}
+	case *exp == "all":
 		selected = names
-	} else {
+	default:
 		for _, name := range strings.Split(*exp, ",") {
 			if _, ok := runners[name]; !ok {
 				fmt.Fprintf(os.Stderr, "unknown experiment %q (have %s)\n", name, strings.Join(names, ", "))

@@ -1,0 +1,476 @@
+// Package engine implements a concurrent, sharded decision engine over the
+// Thanos filter module — the software analogue of a multi-pipelined data
+// plane (§5.1.5 of the paper). Where internal/core and policy.Module model a
+// single pipeline making one decision at a time, the engine runs one
+// goroutine per pipeline replica ("shard"), each owning its own SMBM replica
+// and flattened policy interpreter with fixed scratch vectors, so decisions
+// proceed in parallel at up to GOMAXPROCS-way concurrency without sharing a
+// single hot data structure.
+//
+// # Reads never stall on writes
+//
+// The paper's SMBM hardware performs fully pipelined 2-cycle writes that
+// never block reads: the visible state always corresponds to a completed
+// operation (§5.1.4). The engine models that with epoch-based snapshot
+// publication. Each shard holds two complete replicas of the table+interp
+// pair. Readers always execute against the shard's active snapshot; a write
+// mutates the shadow replica, atomically swaps it in as the new active
+// snapshot, waits for the (single) reader goroutine to drain the old epoch,
+// and then replays the same operation on the retired snapshot so both stay
+// in sync. Decisions therefore always observe an atomic, fully-written table
+// — never a half-applied add — and the decision path contains no locks.
+//
+// # Batched decisions
+//
+// DecideBatch is the data-plane entry point: the caller hands a batch of
+// packets, the engine steers each packet to a shard by its Key (a flow hash;
+// one flow always lands on the same pipeline, exactly how a multi-pipeline
+// switch partitions traffic), enqueues per-shard work descriptors on SPSC
+// ring buffers, and blocks until every decision is written back into the
+// batch in place. The steady-state path — partitioning, ring hand-off,
+// policy execution, fallback resolution — performs zero heap allocations.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/policy"
+	"repro/internal/smbm"
+)
+
+// DefaultChunkSize is the number of packets per ring-buffer work descriptor:
+// large enough to amortize the hand-off, small enough that a batch spreads
+// across shards promptly.
+const DefaultChunkSize = 256
+
+// ringSlots is the capacity of each shard's SPSC work ring. With producers
+// serialized and each batch awaited before the next, a small ring suffices;
+// extra slots let a producer stream chunks ahead of the consumer.
+const ringSlots = 8
+
+// Packet is one decision request flowing through DecideBatch. The engine
+// fills ID and OK in place.
+type Packet struct {
+	// Key steers the packet to a shard (shard = Key mod Shards). Callers
+	// typically use a flow hash so a flow's packets share a pipeline.
+	Key uint64
+	// Out is the policy output index to resolve (0 for single-output
+	// policies); fallback chains are followed as usual (§4.2.3).
+	Out int
+	// ID is the selected resource id, valid when OK is true; -1 otherwise.
+	ID int
+	// OK reports whether any resource was selected (false when even the
+	// fallback table came up empty).
+	OK bool
+}
+
+// Config configures New.
+type Config struct {
+	// Shards is the number of pipeline replicas (decision goroutines);
+	// 0 or negative selects GOMAXPROCS.
+	Shards int
+	// Capacity is N, the resource-slot count of every replica table.
+	Capacity int
+	// Schema names the metric dimensions.
+	Schema policy.Schema
+	// Policy is the filter policy every shard executes.
+	Policy *policy.Policy
+	// ChunkSize is the number of packets per work descriptor;
+	// 0 selects DefaultChunkSize.
+	ChunkSize int
+}
+
+// snapshot is one complete replica: an SMBM plus an interpreter bound to it.
+// A snapshot is only ever executed by its shard's reader goroutine and only
+// ever mutated by a writer that has proven (via the epoch protocol) that the
+// reader is not using it.
+type snapshot struct {
+	table  *smbm.SMBM
+	interp *policy.Interp
+}
+
+// work is one ring-buffer descriptor: decide packets pkts[i] for i in idx,
+// then signal wg.
+type work struct {
+	pkts []Packet
+	idx  []int32
+	wg   *sync.WaitGroup
+}
+
+// shard is one pipeline replica: a reader goroutine, its double-buffered
+// snapshots, and the SPSC ring feeding it work.
+type shard struct {
+	states [2]*snapshot
+	active atomic.Pointer[snapshot] // the snapshot new batches execute against
+	inUse  atomic.Pointer[snapshot] // the snapshot the reader is executing now (nil = idle)
+
+	ring []work
+	head atomic.Uint32 // consumer cursor
+	tail atomic.Uint32 // producer cursor
+	wake chan struct{} // capacity-1 doorbell, producer -> consumer
+	quit chan struct{}
+
+	pol *policy.Policy
+
+	// pidx is the producer-side packet-index scratch for the batch being
+	// partitioned; guarded by Engine.pmu and reused across batches so the
+	// steady-state producer path does not allocate.
+	pidx []int32
+}
+
+// Engine is a concurrent sharded decision engine. Decisions (DecideBatch,
+// Decide) and writes (Add, Delete, Update, Upsert) may be issued
+// concurrently from any number of goroutines.
+type Engine struct {
+	shards []*shard
+	pol    *policy.Policy
+	chunk  int
+
+	// pmu serializes producers, keeping each ring single-producer and the
+	// producer scratch (pidx, batch WaitGroup, one) reusable.
+	pmu    sync.Mutex
+	wg     sync.WaitGroup // completion of the batch in flight; reused
+	one    [1]Packet      // scratch for Decide
+	rrKey  uint64         // round-robin steering key for Decide
+	closed bool
+
+	// wmu serializes writers, so the two snapshots of every shard advance
+	// through the same operation sequence.
+	wmu sync.Mutex
+
+	running sync.WaitGroup // shard goroutines, for Close
+}
+
+// New builds the engine: per shard, two complete table+interpreter replicas
+// (the double buffer) and a decision goroutine. All replicas start empty and
+// identical; every interpreter draws the same deterministic seed assignment,
+// so shards model identically-configured pipeline replicas.
+func New(cfg Config) (*Engine, error) {
+	n := cfg.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("engine: capacity must be positive")
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("engine: nil policy")
+	}
+	chunk := cfg.ChunkSize
+	if chunk <= 0 {
+		chunk = DefaultChunkSize
+	}
+	e := &Engine{pol: cfg.Policy, chunk: chunk}
+	for i := 0; i < n; i++ {
+		s := &shard{
+			ring: make([]work, ringSlots),
+			wake: make(chan struct{}, 1),
+			quit: make(chan struct{}),
+			pol:  cfg.Policy,
+		}
+		for j := range s.states {
+			t := smbm.New(cfg.Capacity, len(cfg.Schema.Attrs))
+			it, err := policy.NewInterp(t, cfg.Schema, cfg.Policy)
+			if err != nil {
+				return nil, err
+			}
+			s.states[j] = &snapshot{table: t, interp: it}
+		}
+		s.active.Store(s.states[0])
+		e.shards = append(e.shards, s)
+		e.running.Add(1)
+		go s.run(&e.running)
+	}
+	return e, nil
+}
+
+// Shards returns the number of pipeline replicas.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Policy returns the policy every shard executes.
+func (e *Engine) Policy() *policy.Policy { return e.pol }
+
+// Capacity returns N, the resource-slot count of the replica tables.
+func (e *Engine) Capacity() int { return e.shards[0].states[0].table.Capacity() }
+
+// Close stops every shard goroutine and waits for them to exit. Pending
+// batches are drained first. The engine must not be used after Close.
+func (e *Engine) Close() {
+	e.pmu.Lock()
+	if e.closed {
+		e.pmu.Unlock()
+		return
+	}
+	e.closed = true
+	e.pmu.Unlock()
+	for _, s := range e.shards {
+		close(s.quit)
+	}
+	e.running.Wait()
+}
+
+// DecideBatch runs one policy decision per packet, in parallel across the
+// engine's shards, writing each result into the packet in place. It returns
+// when every packet in the batch has been decided. Safe for concurrent use;
+// concurrent batches are serialized on the producer side while their
+// decisions still fan out across all shards.
+//
+// The steady-state path performs no heap allocations.
+func (e *Engine) DecideBatch(pkts []Packet) {
+	if len(pkts) == 0 {
+		return
+	}
+	e.pmu.Lock()
+	defer e.pmu.Unlock()
+	e.decideBatchLocked(pkts)
+}
+
+// Decide runs a single decision for policy output 0, steering it to shards
+// round-robin. It is the convenience path simulators use; batch callers get
+// far better throughput from DecideBatch.
+func (e *Engine) Decide() (id int, ok bool) {
+	e.pmu.Lock()
+	defer e.pmu.Unlock()
+	e.one[0] = Packet{Key: e.rrKey}
+	e.rrKey++
+	e.decideBatchLocked(e.one[:])
+	return e.one[0].ID, e.one[0].OK
+}
+
+func (e *Engine) decideBatchLocked(pkts []Packet) {
+	if e.closed {
+		panic("engine: use after Close")
+	}
+	nOut := len(e.pol.Outputs)
+	for i := range pkts {
+		if pkts[i].Out < 0 || pkts[i].Out >= nOut {
+			panic(fmt.Sprintf("engine: packet %d resolves output %d, policy has %d", i, pkts[i].Out, nOut))
+		}
+	}
+	// Partition the batch across shards by steering key.
+	ns := uint64(len(e.shards))
+	for _, s := range e.shards {
+		s.pidx = s.pidx[:0]
+	}
+	for i := range pkts {
+		s := e.shards[pkts[i].Key%ns]
+		s.pidx = append(s.pidx, int32(i))
+	}
+	chunks := 0
+	for _, s := range e.shards {
+		chunks += (len(s.pidx) + e.chunk - 1) / e.chunk
+	}
+	e.wg.Add(chunks)
+	for _, s := range e.shards {
+		for off := 0; off < len(s.pidx); off += e.chunk {
+			end := off + e.chunk
+			if end > len(s.pidx) {
+				end = len(s.pidx)
+			}
+			s.push(work{pkts: pkts, idx: s.pidx[off:end], wg: &e.wg})
+		}
+	}
+	e.wg.Wait()
+}
+
+// push enqueues one work descriptor on the shard's SPSC ring, spinning when
+// the ring is full (the consumer is draining it concurrently), and rings the
+// doorbell.
+func (s *shard) push(w work) {
+	for s.tail.Load()-s.head.Load() == uint32(len(s.ring)) {
+		runtime.Gosched()
+	}
+	s.ring[s.tail.Load()%uint32(len(s.ring))] = w
+	s.tail.Add(1)
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// pop dequeues one work descriptor, or reports the ring empty.
+func (s *shard) pop() (work, bool) {
+	h := s.head.Load()
+	if h == s.tail.Load() {
+		return work{}, false
+	}
+	slot := h % uint32(len(s.ring))
+	w := s.ring[slot]
+	s.ring[slot] = work{} // release references
+	s.head.Add(1)
+	return w, true
+}
+
+// run is the shard's reader goroutine: drain the ring, park on the doorbell.
+func (s *shard) run(done *sync.WaitGroup) {
+	defer done.Done()
+	for {
+		for {
+			w, ok := s.pop()
+			if !ok {
+				break
+			}
+			s.process(w)
+		}
+		select {
+		case <-s.wake:
+		case <-s.quit:
+			// Drain work enqueued before shutdown so no batch waits forever.
+			for {
+				w, ok := s.pop()
+				if !ok {
+					return
+				}
+				s.process(w)
+			}
+		}
+	}
+}
+
+// process executes one work descriptor against the shard's active snapshot.
+// The inUse pointer is the shard's half of the epoch protocol: publish the
+// snapshot being read, re-check that it is still active (a writer may have
+// swapped in between), execute, clear. Writers spin on inUse before mutating
+// a retired snapshot, so execution never observes a table mid-write.
+func (s *shard) process(w work) {
+	var st *snapshot
+	for {
+		st = s.active.Load()
+		s.inUse.Store(st)
+		if s.active.Load() == st {
+			break
+		}
+		s.inUse.Store(nil) // writer swapped underneath us; retry on the new epoch
+	}
+	for _, i := range w.idx {
+		p := &w.pkts[i]
+		outs := st.interp.Exec()
+		res := policy.Resolve(s.pol, outs, p.Out)
+		p.ID = res.FirstSet()
+		p.OK = p.ID >= 0
+	}
+	s.inUse.Store(nil)
+	w.wg.Done()
+}
+
+// Add inserts a resource into every replica. See apply for the propagation
+// protocol.
+func (e *Engine) Add(id int, vals []int64) error {
+	return e.apply(func(t *smbm.SMBM) error { return t.Add(id, vals) })
+}
+
+// Delete removes a resource from every replica.
+func (e *Engine) Delete(id int) error {
+	return e.apply(func(t *smbm.SMBM) error { return t.Delete(id) })
+}
+
+// Update replaces a resource's metrics in every replica.
+func (e *Engine) Update(id int, vals []int64) error {
+	return e.apply(func(t *smbm.SMBM) error { return t.Update(id, vals) })
+}
+
+// Upsert adds or refreshes a resource in every replica — the probe-
+// processing write path (§3).
+func (e *Engine) Upsert(id int, vals []int64) error {
+	return e.apply(func(t *smbm.SMBM) error { return t.Upsert(id, vals) })
+}
+
+// Remove is Delete under the name the simulator backends use.
+func (e *Engine) Remove(id int) error { return e.Delete(id) }
+
+// apply propagates one table operation to both snapshots of every shard
+// without ever stalling readers: per shard, mutate the shadow snapshot,
+// atomically publish it as the new active epoch, wait for the reader to
+// finish any batch pinned to the old epoch, then replay the operation on the
+// retired snapshot. This mirrors the paper's pipelined 2-cycle SMBM writes
+// (§5.1.4): reads issued at any moment see a complete, consistent table.
+//
+// The operation is validated against the first shard's shadow replica; a
+// validation failure (duplicate id, missing id, full table) leaves every
+// replica untouched. A failure on any later replica means the replicas have
+// diverged, which the synchronous-update design rules out — it panics
+// loudly, exactly like smbm.ReplicaGroup.
+func (e *Engine) apply(op func(*smbm.SMBM) error) error {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	for si, s := range e.shards {
+		act := s.active.Load()
+		shadow := s.other(act)
+		if err := op(shadow.table); err != nil {
+			if si == 0 {
+				return err
+			}
+			panic("engine: replica divergence: " + err.Error())
+		}
+		s.active.Store(shadow)
+		for s.inUse.Load() == act {
+			runtime.Gosched() // reader still draining the old epoch
+		}
+		if err := op(act.table); err != nil {
+			panic("engine: replica divergence: " + err.Error())
+		}
+	}
+	return nil
+}
+
+// other returns the snapshot that is not st.
+func (s *shard) other(st *snapshot) *snapshot {
+	if s.states[0] == st {
+		return s.states[1]
+	}
+	return s.states[0]
+}
+
+// Metrics returns a copy of the metric values for id from the authoritative
+// (shard 0, active) replica, or ok=false if absent. Control-plane read.
+func (e *Engine) Metrics(id int) ([]int64, bool) {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	return e.shards[0].active.Load().table.Metrics(id)
+}
+
+// Size returns the number of resources currently stored.
+func (e *Engine) Size() int {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	return e.shards[0].active.Load().table.Size()
+}
+
+// CheckSync verifies the engine-wide InSync invariant: all 2×Shards replica
+// tables hold identical contents and satisfy every SMBM structural
+// invariant. Intended for tests; it takes the writer lock, so in-flight
+// decisions are unaffected but writes are briefly excluded.
+func (e *Engine) CheckSync() error {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	base := e.shards[0].active.Load().table
+	ids := base.Members().IDs()
+	for si, s := range e.shards {
+		for sti, st := range s.states {
+			t := st.table
+			if err := t.CheckInvariants(); err != nil {
+				return fmt.Errorf("shard %d state %d: %w", si, sti, err)
+			}
+			if t.Size() != base.Size() {
+				return fmt.Errorf("shard %d state %d: size %d, want %d", si, sti, t.Size(), base.Size())
+			}
+			for _, id := range ids {
+				want, _ := base.Metrics(id)
+				got, ok := t.Metrics(id)
+				if !ok {
+					return fmt.Errorf("shard %d state %d: id %d missing", si, sti, id)
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						return fmt.Errorf("shard %d state %d: id %d metric %d = %d, want %d",
+							si, sti, id, j, got[j], want[j])
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

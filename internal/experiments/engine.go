@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/lb"
+	"repro/internal/policy"
+)
+
+// EngineSweepPoint is one shard count's measured throughput in the
+// concurrent decision-engine sweep.
+type EngineSweepPoint struct {
+	Shards          int     `json:"shards"`
+	Batch           int     `json:"batch"`
+	TableSize       int     `json:"table_size"`
+	Batches         int     `json:"batches"`
+	DecisionsPerSec float64 `json:"decisions_per_sec"`
+	NsPerDecision   float64 `json:"ns_per_decision"`
+	Speedup         float64 `json:"speedup_vs_1_shard"`
+}
+
+// EngineSweepResult is the full sweep, printable as the experiment report.
+type EngineSweepResult struct {
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Points     []EngineSweepPoint `json:"points"`
+}
+
+func (r EngineSweepResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Sharded decision engine throughput (software multi-pipeline, §5.1.5; GOMAXPROCS=%d) ==\n", r.GOMAXPROCS)
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "shards=%d  %.2fM decisions/s  %.0f ns/decision  speedup %.2fx\n",
+			p.Shards, p.DecisionsPerSec/1e6, p.NsPerDecision, p.Speedup)
+	}
+	b.WriteString("(speedup is bounded by GOMAXPROCS; shard counts beyond the core count add no parallelism)\n")
+	return b.String()
+}
+
+// EngineShardCounts builds the sweep's shard counts: powers of two up to
+// max, plus max itself when it is not a power of two.
+func EngineShardCounts(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	var counts []int
+	for s := 1; s <= max; s *= 2 {
+		counts = append(counts, s)
+	}
+	if last := counts[len(counts)-1]; last != max {
+		counts = append(counts, max)
+	}
+	return counts
+}
+
+// EngineSweep measures batched decision throughput of the concurrent sharded
+// engine across shard counts, under the resource-aware load-balancing policy
+// (Policy 2 of §7.2.2) over a table of tableSize servers. Points run
+// strictly serially — each point's parallelism is the engine's own, so a
+// worker pool would distort the measurement.
+func EngineSweep(shardCounts []int, batch, tableSize, batches int, seed int64) (EngineSweepResult, error) {
+	res := EngineSweepResult{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	if batch <= 0 || tableSize <= 0 || batches <= 0 {
+		return res, fmt.Errorf("experiments: non-positive engine sweep parameter")
+	}
+	for _, shards := range shardCounts {
+		pt, err := measureEnginePoint(shards, batch, tableSize, batches, seed)
+		if err != nil {
+			return res, err
+		}
+		if len(res.Points) > 0 {
+			pt.Speedup = res.Points[0].NsPerDecision / pt.NsPerDecision
+		} else {
+			pt.Speedup = 1
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+func enginePolicy() *policy.Policy { return policy.MustParse(lb.PolicyResourceAware) }
+
+func sweepPackets(batch int) []engine.Packet {
+	pkts := make([]engine.Packet, batch)
+	for i := range pkts {
+		pkts[i] = engine.Packet{Key: uint64(i) * 0x9E3779B97F4A7C15}
+	}
+	return pkts
+}
+
+func newSweepEngine(shards, tableSize int, seed int64) (*engine.Engine, error) {
+	e, err := engine.New(engine.Config{
+		Shards:   shards,
+		Capacity: tableSize,
+		Schema:   lb.Schema,
+		Policy:   enginePolicy(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	for id := 0; id < tableSize; id++ {
+		vals := []int64{int64(r.Intn(100)), int64(r.Intn(8192)), int64(r.Intn(10000))}
+		if err := e.Add(id, vals); err != nil {
+			e.Close()
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+func measureEnginePoint(shards, batch, tableSize, batches int, seed int64) (EngineSweepPoint, error) {
+	pt := EngineSweepPoint{Shards: shards, Batch: batch, TableSize: tableSize, Batches: batches}
+	e, err := newSweepEngine(shards, tableSize, seed)
+	if err != nil {
+		return pt, err
+	}
+	defer e.Close()
+	pkts := sweepPackets(batch)
+	e.DecideBatch(pkts) // warm up scratch buffers
+	start := time.Now()
+	for i := 0; i < batches; i++ {
+		e.DecideBatch(pkts)
+	}
+	elapsed := time.Since(start)
+	decisions := float64(batch) * float64(batches)
+	pt.DecisionsPerSec = decisions / elapsed.Seconds()
+	pt.NsPerDecision = float64(elapsed.Nanoseconds()) / decisions
+	return pt, nil
+}

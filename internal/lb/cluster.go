@@ -3,6 +3,8 @@ package lb
 import (
 	"fmt"
 
+	"repro/internal/engine"
+	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -21,6 +23,12 @@ type ClusterConfig struct {
 	MeanDemandUs  float64 // mean intrinsic query service demand
 	MeanGapUs     float64 // mean query inter-arrival gap (Poisson)
 	ConnCapacity  int
+	// EngineShards, when positive, backs the balancer with a concurrent
+	// sharded decision engine of that many pipeline replicas instead of a
+	// single filter module. Placement quality is unchanged (every replica
+	// runs the same policy); this exercises the multi-pipeline deployment
+	// of §5.1.5 inside the experiment.
+	EngineShards int
 }
 
 // DefaultClusterConfig mirrors the paper's setup: four servers (hosts 5–8
@@ -56,6 +64,28 @@ func (c ClusterConfig) Validate() error {
 		return fmt.Errorf("lb: Zipf s must be > 1")
 	}
 	return nil
+}
+
+// newClusterBalancer builds the run's balancer: module-backed by default,
+// engine-backed when cfg.EngineShards is positive.
+func newClusterBalancer(cfg ClusterConfig, policySrc string) (*Balancer, error) {
+	if cfg.EngineShards <= 0 {
+		return NewBalancer(cfg.Servers, cfg.ConnCapacity, policySrc)
+	}
+	pol, err := policy.Parse(policySrc)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.New(engine.Config{
+		Shards:   cfg.EngineShards,
+		Capacity: cfg.Servers,
+		Schema:   Schema,
+		Policy:   pol,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return NewBalancerWithBackend(eng, cfg.ConnCapacity)
 }
 
 // kindFrac maps a query kind to a deterministic pseudo-uniform value in
@@ -129,10 +159,11 @@ func RunIntercepted(cfg ClusterConfig, policySrc string, numQueries int, interce
 		servers[i] = &Server{id: i, cfg: cfg.ServerCfg, trace: trace, sched: sched}
 	}
 
-	bal, err := NewBalancer(cfg.Servers, cfg.ConnCapacity, policySrc)
+	bal, err := newClusterBalancer(cfg, policySrc)
 	if err != nil {
 		return nil, err
 	}
+	defer bal.Close()
 
 	// Prime the resource table with initial probes so the first placement
 	// has data.

@@ -1,0 +1,70 @@
+package lb
+
+import (
+	"testing"
+)
+
+// TestClusterRunWithEngineBackend runs the §7.2.2 cluster simulation with
+// the balancer backed by the concurrent sharded engine instead of a single
+// filter module. The run must complete with every query placed and served;
+// placement quality is policy-driven either way.
+func TestClusterRunWithEngineBackend(t *testing.T) {
+	cfg := DefaultClusterConfig(3)
+	cfg.EngineShards = 2
+	const queries = 120
+	res, err := Run(cfg, PolicyResourceAware, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Queries) != queries {
+		t.Fatalf("%d queries completed, want %d", len(res.Queries), queries)
+	}
+	for i, q := range res.Queries {
+		if q.Server < 0 || q.Server >= cfg.Servers {
+			t.Fatalf("query %d placed on server %d", i, q.Server)
+		}
+		if q.Done < q.Arrive {
+			t.Fatalf("query %d finished before it arrived", i)
+		}
+	}
+}
+
+// TestBalancerWithEngineBackendAffinity checks that the connection table's
+// affinity semantics are backend-independent: repeated placements of one
+// connection stick, and release frees the entry.
+func TestBalancerWithEngineBackendAffinity(t *testing.T) {
+	cfg := DefaultClusterConfig(1)
+	cfg.EngineShards = 2
+	bal, err := newClusterBalancer(cfg, PolicyResourceAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bal.Close()
+	if bal.Module() != nil {
+		t.Fatal("engine-backed balancer should not expose a module")
+	}
+	for s := 0; s < cfg.Servers; s++ {
+		if err := bal.HandleProbe(MakeProbe(s, 30, 4096, 5000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, err := bal.Place(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		got, err := bal.Place(42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != first {
+			t.Fatalf("connection moved from server %d to %d", first, got)
+		}
+	}
+	if err := bal.Release(42); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(bal.Decisions); got != 1 {
+		t.Fatalf("%d placement decisions recorded, want 1", got)
+	}
+}

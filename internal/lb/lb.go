@@ -172,11 +172,22 @@ func (s *Server) serveNext() {
 // QueueLen returns the number of queued (not yet started) queries.
 func (s *Server) QueueLen() int { return len(s.backlog) }
 
+// Backend is the placement engine behind a Balancer: probe-driven metric
+// refresh, resource removal, and one policy decision per new connection.
+// *policy.Module (one pipeline, single-threaded) and *engine.Engine
+// (sharded, concurrent) both satisfy it.
+type Backend interface {
+	Upsert(id int, vals []int64) error
+	Remove(id int) error
+	Decide() (id int, ok bool)
+}
+
 // Balancer is the switch-resident L4 load balancer: SilkRoad-style
 // connection table for affinity plus a Thanos filter module for new-
 // connection placement.
 type Balancer struct {
-	module    *policy.Module
+	backend   Backend
+	module    *policy.Module // non-nil when backend is a single module
 	connTable *rmt.MatchTable
 	parser    *rmt.Parser
 
@@ -185,7 +196,8 @@ type Balancer struct {
 }
 
 // NewBalancer builds a balancer for numServers backends under the given
-// policy source (PolicyRandom, PolicyResourceAware, or custom DSL).
+// policy source (PolicyRandom, PolicyResourceAware, or custom DSL), backed
+// by a single-pipeline filter module.
 func NewBalancer(numServers, connCapacity int, policySrc string) (*Balancer, error) {
 	pol, err := policy.Parse(policySrc)
 	if err != nil {
@@ -195,20 +207,41 @@ func NewBalancer(numServers, connCapacity int, policySrc string) (*Balancer, err
 	if err != nil {
 		return nil, err
 	}
+	b, err := NewBalancerWithBackend(mod, connCapacity)
+	if err != nil {
+		return nil, err
+	}
+	b.module = mod
+	return b, nil
+}
+
+// NewBalancerWithBackend builds a balancer over a caller-provided placement
+// backend — typically a sharded engine.Engine configured with lb.Schema, the
+// multi-pipeline deployment of §5.1.5.
+func NewBalancerWithBackend(backend Backend, connCapacity int) (*Balancer, error) {
 	ct, err := rmt.NewMatchTable("conns", []string{"conn"}, connCapacity, nil)
 	if err != nil {
 		return nil, err
 	}
 	return &Balancer{
-		module:    mod,
+		backend:   backend,
 		connTable: ct,
 		parser:    ProbeParser(),
 		Decisions: make(map[int]int),
 	}, nil
 }
 
-// Module exposes the balancer's filter module (for inspection in tests).
+// Module exposes the balancer's filter module (for inspection in tests). It
+// is nil when the balancer runs on a custom backend.
 func (b *Balancer) Module() *policy.Module { return b.module }
+
+// Close releases the backend if it owns resources (the sharded engine's
+// decision goroutines); module-backed balancers need no cleanup.
+func (b *Balancer) Close() {
+	if c, ok := b.backend.(interface{ Close() }); ok {
+		c.Close()
+	}
+}
 
 // HandleProbe parses a server resource probe (raw bytes as emitted by
 // MakeProbe) and refreshes the server's row in the resource table.
@@ -217,7 +250,7 @@ func (b *Balancer) HandleProbe(data []byte) error {
 	if err != nil {
 		return err
 	}
-	return b.module.Upsert(int(fields["server"]), []int64{
+	return b.backend.Upsert(int(fields["server"]), []int64{
 		int64(fields["cpu"]), int64(fields["mem"]), int64(fields["bw"]),
 	})
 }
@@ -257,7 +290,7 @@ func (b *Balancer) Place(connID int64) (int, error) {
 	if hit {
 		return int(ctx.Meta["server"]), nil
 	}
-	server, ok := b.module.Decide()
+	server, ok := b.backend.Decide()
 	if !ok {
 		return 0, fmt.Errorf("lb: no servers available")
 	}

@@ -1,0 +1,109 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/policy"
+)
+
+// TestPortSelectorWithEngineBackend swaps the single-pipeline module for the
+// concurrent sharded engine behind the Backend interface: the selector's
+// per-packet decisions and the event-driven queue-metric sync must behave
+// identically (min-queue policy is deterministic, so backends agree).
+func TestPortSelectorWithEngineBackend(t *testing.T) {
+	cfg := DefaultConfig()
+	n, err := New(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := n.AddSwitch(3)
+	schema := policy.Schema{Attrs: []string{"queue", "qprev"}}
+	eng, err := engine.New(engine.Config{
+		Shards:   2,
+		Capacity: 2,
+		Schema:   schema,
+		Policy:   policy.MustParse(`out best = min(table, queue)`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.Upsert(0, []int64{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Upsert(1, []int64{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	sel := NewPortSelector(sw, eng, map[int]int{0: 1, 1: 2})
+	sel.SyncQueueMetric(0)
+	sw.SetCandidates(5, []int{1, 2})
+
+	// Queue buildup on port 1 flows through Metrics+Upsert into every
+	// engine replica; decisions must steer to port 2.
+	sw.Tracker.Enqueue(1)
+	sw.Tracker.Enqueue(1)
+	if vals, ok := eng.Metrics(0); !ok || vals[0] != 2 {
+		t.Fatalf("queue metric = %v (ok=%v), want [2 0]", vals, ok)
+	}
+	if got := sel.forward(&Packet{FlowID: 9, Dst: 5}); got != 2 {
+		t.Fatalf("selected port %d, want 2 (port 1 queued)", got)
+	}
+	sw.Tracker.Dequeue(1)
+	sw.Tracker.Dequeue(1)
+	sw.Tracker.Enqueue(2)
+	sw.Tracker.Enqueue(2)
+	sw.Tracker.Enqueue(2)
+	if got := sel.forward(&Packet{FlowID: 10, Dst: 5}); got != 1 {
+		t.Fatalf("selected port %d, want 1 (port 2 queued)", got)
+	}
+	if err := eng.CheckSync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPathRouterWithEngineBackend drives flow pinning through the engine.
+func TestPathRouterWithEngineBackend(t *testing.T) {
+	cfg := DefaultConfig()
+	n, err := New(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := n.AddSwitch(3)
+	h := n.AddHost()
+	n.Connect(h, leaf, 0)
+	leaf.SetCandidates(1, []int{1, 2})
+
+	schema := policy.Schema{Attrs: []string{"util"}}
+	eng, err := engine.New(engine.Config{
+		Shards:   2,
+		Capacity: 2,
+		Schema:   schema,
+		Policy:   policy.MustParse(`out best = min(table, util)`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.Upsert(0, []int64{800}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Upsert(1, []int64{100}); err != nil {
+		t.Fatal(err)
+	}
+	r := NewPathRouter(leaf, eng, func(res int) int { return 1 + res })
+
+	pkt := &Packet{FlowID: 1, Dst: 1}
+	if got := r.forward(pkt); got != 2 { // resource 1 (util 100) → port 2
+		t.Fatalf("chose port %d, want 2", got)
+	}
+	if err := eng.Upsert(1, []int64{999}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.forward(pkt); got != 2 {
+		t.Fatal("flow migrated mid-life")
+	}
+	if got := r.forward(&Packet{FlowID: 2, Dst: 1}); got != 1 {
+		t.Fatalf("new flow chose port %d, want 1", got)
+	}
+}

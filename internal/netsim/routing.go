@@ -29,6 +29,18 @@ func ECMP(sw *Switch) func(pkt *Packet) int {
 // real filter units.
 type ThanosModule = policy.Module
 
+// Backend is the decision-engine interface the routing layers consume: one
+// policy decision per packet, probe-driven metric refresh, and metric
+// read-back for event-driven local metrics. Both *policy.Module (one
+// pipeline, single-threaded) and *engine.Engine (sharded, concurrent)
+// satisfy it, so a simulated switch can swap its filter module for the
+// concurrent engine without touching the routing code.
+type Backend interface {
+	Decide() (id int, ok bool)
+	Upsert(id int, vals []int64) error
+	Metrics(id int) ([]int64, bool)
+}
+
 // NewThanosModule builds a module with capacity resources, the given
 // attribute schema, and a policy (typically from policy.Parse).
 func NewThanosModule(capacity int, schema policy.Schema, pol *policy.Policy) (*ThanosModule, error) {
@@ -42,7 +54,7 @@ func NewThanosModule(capacity int, schema policy.Schema, pol *policy.Policy) (*T
 // destinations and return traffic use the candidate table directly.
 type PathRouter struct {
 	sw         *Switch
-	module     *ThanosModule
+	module     Backend
 	uplinkPort func(resource int) int
 	flowPath   map[int64]int
 }
@@ -50,7 +62,7 @@ type PathRouter struct {
 // NewPathRouter installs policy-driven uplink selection on sw. uplinkPort
 // maps a resource id from the module's table to a switch port.
 // The router is installed as sw.Forward and also returned for inspection.
-func NewPathRouter(sw *Switch, module *ThanosModule, uplinkPort func(resource int) int) *PathRouter {
+func NewPathRouter(sw *Switch, module Backend, uplinkPort func(resource int) int) *PathRouter {
 	r := &PathRouter{
 		sw: sw, module: module, uplinkPort: uplinkPort,
 		flowPath: make(map[int64]int),
@@ -83,14 +95,14 @@ func (r *PathRouter) forward(pkt *Packet) int {
 // whose table holds one resource per port with live queue metrics.
 type PortSelector struct {
 	sw         *Switch
-	module     *ThanosModule
+	module     Backend
 	portOf     func(resource int) int
 	resourceOf map[int]int // port -> resource
 }
 
 // NewPortSelector installs per-packet policy-driven port selection on sw.
 // resources lists the (resource id, port) pairs under policy control.
-func NewPortSelector(sw *Switch, module *ThanosModule, resourceToPort map[int]int) *PortSelector {
+func NewPortSelector(sw *Switch, module Backend, resourceToPort map[int]int) *PortSelector {
 	s := &PortSelector{
 		sw: sw, module: module,
 		resourceOf: make(map[int]int),
@@ -131,13 +143,13 @@ func (s *PortSelector) SyncQueueMetric(queueDim int) {
 		if !controlled {
 			return
 		}
-		vals, ok := s.module.Table.Metrics(res)
+		vals, ok := s.module.Metrics(res)
 		if !ok {
 			return
 		}
 		vals[queueDim] = newLen
-		if err := s.module.Table.Update(res, vals); err != nil {
-			panic(err) // resource was just read; update cannot fail
+		if err := s.module.Upsert(res, vals); err != nil {
+			panic(err) // resource was just read; upsert cannot fail
 		}
 	}
 }

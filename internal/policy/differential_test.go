@@ -1,0 +1,201 @@
+package policy
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/pipeline"
+	"repro/internal/smbm"
+)
+
+// diffSchema is the attribute universe for generated policies.
+var diffSchema = Schema{Attrs: []string{"a", "b", "c"}}
+
+// genExprDiff generates a random expression over diffSchema: op chains of
+// no-op/predicate/min/max/round-robin/random unaries (serial composition by
+// nesting, parallel composition via K > 1 chains) merged with
+// union/intersect/diff. The construction is a pure function of r's stream,
+// so two rands with the same seed yield structurally identical,
+// pointer-disjoint ASTs — one for the interpreter, one for the compiler.
+func genExprDiff(r *rand.Rand, depth int) Expr {
+	if depth <= 0 || r.Intn(4) == 0 {
+		return &Table{}
+	}
+	attr := diffSchema.Attrs[r.Intn(len(diffSchema.Attrs))]
+	pickK := func() int {
+		// 0 means a single unit; >1 is a parallel chain (top-K / K samples).
+		return []int{0, 0, 2, 3}[r.Intn(4)]
+	}
+	switch r.Intn(9) {
+	case 0:
+		return &Unary{Op: filter.UNoOp, Input: genExprDiff(r, depth-1)}
+	case 1, 2:
+		return &Unary{Op: filter.UPredicate, Attr: attr,
+			Rel: filter.RelOp(r.Intn(6)), Val: int64(r.Intn(100)), Input: genExprDiff(r, depth-1)}
+	case 3:
+		return &Unary{Op: filter.UMin, K: pickK(), Attr: attr, Input: genExprDiff(r, depth-1)}
+	case 4:
+		return &Unary{Op: filter.UMax, K: pickK(), Attr: attr, Input: genExprDiff(r, depth-1)}
+	case 5:
+		return &Unary{Op: filter.URoundRobin, Attr: attr, Input: genExprDiff(r, depth-1)}
+	case 6:
+		return &Unary{Op: filter.URandom, K: pickK(), Input: genExprDiff(r, depth-1)}
+	default:
+		l, rr := genExprDiff(r, depth-1), genExprDiff(r, depth-1)
+		switch r.Intn(3) {
+		case 0:
+			return &Binary{Op: filter.BUnion, Left: l, Right: rr}
+		case 1:
+			return &Binary{Op: filter.BIntersect, Left: l, Right: rr}
+		default:
+			return &Binary{Op: filter.BDiff, Left: l, Right: rr}
+		}
+	}
+}
+
+// genPolicyDiff generates a whole random policy: 1–2 outputs, sometimes a
+// shared subexpression (a DAG, as let produces), sometimes a fallback edge.
+func genPolicyDiff(r *rand.Rand, trial int) *Policy {
+	nOut := 1 + r.Intn(2)
+	var shared Expr
+	if r.Intn(3) == 0 {
+		shared = genExprDiff(r, 2)
+	}
+	p := &Policy{Name: "gen"}
+	for i := 0; i < nOut; i++ {
+		e := genExprDiff(r, 3)
+		if shared != nil && r.Intn(2) == 0 {
+			// Wrap the shared node so both outputs reference one pointer.
+			e = &Binary{Op: filter.BUnion, Left: e, Right: shared}
+		}
+		p.Outputs = append(p.Outputs, Output{Name: []string{"x", "y"}[i], Expr: e})
+	}
+	p.FallbackOf = make([]int, nOut)
+	for i := range p.FallbackOf {
+		p.FallbackOf[i] = -1
+	}
+	if nOut == 2 && r.Intn(2) == 0 {
+		p.FallbackOf[0] = 1
+	}
+	return p
+}
+
+// isCapacityErr reports whether a compile error is a legitimate "policy does
+// not fit this design point" rejection, the only kind the differential test
+// may skip. Anything else (validation failure, internal error) is a bug.
+func isCapacityErr(err error) bool {
+	msg := err.Error()
+	for _, s := range []string{
+		"chain length", "line slots", "fan-out", "out of cells",
+		"unplaced", "not available at final stage", "exceed pipeline width",
+	} {
+		if strings.Contains(msg, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDifferentialInterpVsCompiled is the randomized differential harness:
+// across many trials it generates a random policy AST and a random table,
+// compiles the policy onto a generously sized pipeline, and asserts that the
+// compiled pipeline and the direct AST interpreter produce bit-for-bit
+// identical output tables packet after packet, with table mutations (probe
+// writes) interleaved. Stochastic operators match because interpreter and
+// compiler share AssignSeeds, so every random/rr unit starts from the same
+// LFSR seed on both sides.
+func TestDifferentialInterpVsCompiled(t *testing.T) {
+	trials := 1000
+	if testing.Short() {
+		trials = 150
+	}
+	params := pipeline.Params{Inputs: 8, Fanout: 2, Stages: 8, ChainLen: 4}
+	const (
+		capN    = 16
+		packets = 20
+	)
+
+	compiled, skipped := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		// Two identically seeded generators: disjoint AST copies for the
+		// two evaluators, plus one stream for tables and mutations.
+		pInterp := genPolicyDiff(rand.New(rand.NewSource(int64(trial))), trial)
+		pCompiled := genPolicyDiff(rand.New(rand.NewSource(int64(trial))), trial)
+		r := rand.New(rand.NewSource(int64(trial) * 7919))
+
+		if err := pInterp.Validate(diffSchema); err != nil {
+			t.Fatalf("trial %d: generated invalid policy: %v\n%s", trial, err, pInterp.Outputs[0].Expr)
+		}
+
+		table := smbm.New(capN, len(diffSchema.Attrs))
+		for id := 0; id < capN; id++ {
+			if r.Intn(4) > 0 {
+				vals := []int64{int64(r.Intn(100)), int64(r.Intn(100)), int64(r.Intn(100))}
+				if err := table.Add(id, vals); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		pl, cc, err := NewPipeline(table, diffSchema, pCompiled, params)
+		if err != nil {
+			if !isCapacityErr(err) {
+				t.Fatalf("trial %d: non-capacity compile error: %v", trial, err)
+			}
+			skipped++
+			continue
+		}
+		compiled++
+
+		it, err := NewInterp(table, diffSchema, pInterp)
+		if err != nil {
+			t.Fatalf("trial %d: interp: %v", trial, err)
+		}
+
+		for pkt := 0; pkt < packets; pkt++ {
+			want := it.Exec()
+			got, err := cc.Run(pl)
+			if err != nil {
+				t.Fatalf("trial %d packet %d: run: %v", trial, pkt, err)
+			}
+			for i := range want {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("trial %d packet %d output %d:\n  policy: %s\n  compiled %s\n  interp   %s",
+						trial, pkt, i, pInterp.Outputs[i].Expr, got[i], want[i])
+				}
+			}
+			// Fallback resolution must agree too (post-filter MUX, §4.2.3).
+			for i := range want {
+				if !Resolve(pCompiled, got, i).Equal(Resolve(pInterp, want, i)) {
+					t.Fatalf("trial %d packet %d output %d: fallback resolution diverged", trial, pkt, i)
+				}
+			}
+			// Mutate the table between packets, as probe packets would.
+			id := r.Intn(capN)
+			vals := []int64{int64(r.Intn(100)), int64(r.Intn(100)), int64(r.Intn(100))}
+			switch {
+			case table.Contains(id) && table.Size() > 1 && r.Intn(4) == 0:
+				if err := table.Delete(id); err != nil {
+					t.Fatal(err)
+				}
+			case table.Contains(id):
+				if err := table.Update(id, vals); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				if err := table.Add(id, vals); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	t.Logf("differential: %d/%d policies compiled (%d skipped for capacity)", compiled, compiled+skipped, skipped)
+	// The generator is tuned so most policies fit the generous design point;
+	// if compilation success collapses, the test is no longer testing much.
+	if compiled < (compiled+skipped)/2 {
+		t.Fatalf("only %d of %d generated policies compiled — generator or compiler regressed", compiled, compiled+skipped)
+	}
+}

@@ -50,6 +50,12 @@ func (m *Module) Decide() (id int, ok bool) {
 	return res.FirstSet(), true
 }
 
+// Metrics returns a copy of the resource's current metric tuple, or ok=false
+// if the resource is absent.
+func (m *Module) Metrics(id int) ([]int64, bool) {
+	return m.Table.Metrics(id)
+}
+
 // Exec evaluates the policy and returns the raw output tables, for callers
 // that need more than a single id (e.g. diagnosis queries that filter a
 // set).

@@ -1,0 +1,190 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"repro/internal/filter"
+)
+
+// DSL renders the policy back into the textual policy DSL accepted by
+// Parse, so that Parse(p.DSL()) yields a structurally identical policy.
+// Shared subexpressions (DAG nodes bound with let) are printed expanded;
+// sharing is a representation detail the round trip does not preserve.
+//
+// It returns an error for policies that have no DSL form: explicit no-op or
+// MUX nodes, round-robin parallel chains, fixed LFSR seeds, or names that
+// are not DSL identifiers. Everything Parse can produce is representable.
+func (p *Policy) DSL() (string, error) {
+	if len(p.Outputs) == 0 {
+		return "", fmt.Errorf("policy %q: no outputs, not representable", p.Name)
+	}
+	if !isDSLIdent(p.Name) {
+		return "", fmt.Errorf("policy name %q is not a DSL identifier", p.Name)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy %s\n", p.Name)
+	for _, o := range p.Outputs {
+		if !isDSLIdent(o.Name) {
+			return "", fmt.Errorf("output name %q is not a DSL identifier", o.Name)
+		}
+		b.WriteString("out ")
+		b.WriteString(o.Name)
+		b.WriteString(" = ")
+		if err := writeExprDSL(&b, o.Expr, make(map[Expr]bool)); err != nil {
+			return "", fmt.Errorf("output %q: %w", o.Name, err)
+		}
+		b.WriteByte('\n')
+	}
+	for i, fb := range p.FallbackOf {
+		if fb != -1 {
+			if fb < 0 || fb >= len(p.Outputs) {
+				return "", fmt.Errorf("output %q: fallback index %d out of range", p.Outputs[i].Name, fb)
+			}
+			fmt.Fprintf(&b, "fallback %s -> %s\n", p.Outputs[i].Name, p.Outputs[fb].Name)
+		}
+	}
+	return b.String(), nil
+}
+
+func writeExprDSL(b *strings.Builder, e Expr, visiting map[Expr]bool) error {
+	if e == nil {
+		return fmt.Errorf("nil expression")
+	}
+	if visiting[e] {
+		return fmt.Errorf("cycle in expression DAG at %T node", e)
+	}
+	visiting[e] = true
+	defer delete(visiting, e)
+
+	writeInput := func(in Expr) error { return writeExprDSL(b, in, visiting) }
+	attrOf := func(n *Unary) (string, error) {
+		if !isDSLIdent(n.Attr) {
+			return "", fmt.Errorf("attribute %q is not a DSL identifier", n.Attr)
+		}
+		return n.Attr, nil
+	}
+
+	switch n := e.(type) {
+	case *Table:
+		b.WriteString("table")
+		return nil
+	case *Unary:
+		if n.Seed != 0 {
+			return fmt.Errorf("node %s: explicit LFSR seed has no DSL form", n)
+		}
+		switch n.Op {
+		case filter.UPredicate:
+			if n.Rel > filter.NE {
+				return fmt.Errorf("invalid relational operator %d", n.Rel)
+			}
+			attr, err := attrOf(n)
+			if err != nil {
+				return err
+			}
+			b.WriteString("filter(")
+			if err := writeInput(n.Input); err != nil {
+				return err
+			}
+			fmt.Fprintf(b, ", %s %s %d)", attr, n.Rel, n.Val)
+			return nil
+		case filter.UMin, filter.UMax:
+			attr, err := attrOf(n)
+			if err != nil {
+				return err
+			}
+			name := "min"
+			if n.Op == filter.UMax {
+				name = "max"
+			}
+			if n.K != 0 {
+				name += "K"
+			}
+			b.WriteString(name)
+			b.WriteByte('(')
+			if err := writeInput(n.Input); err != nil {
+				return err
+			}
+			if n.K != 0 {
+				fmt.Fprintf(b, ", %s, %d)", attr, n.K)
+			} else {
+				fmt.Fprintf(b, ", %s)", attr)
+			}
+			return nil
+		case filter.URandom:
+			name := "random"
+			if n.K != 0 {
+				name = "sample"
+			}
+			b.WriteString(name)
+			b.WriteByte('(')
+			if err := writeInput(n.Input); err != nil {
+				return err
+			}
+			if n.K != 0 {
+				fmt.Fprintf(b, ", %d", n.K)
+			}
+			b.WriteByte(')')
+			return nil
+		case filter.URoundRobin:
+			if n.K != 0 {
+				return fmt.Errorf("node %s: round-robin parallel chain has no DSL form", n)
+			}
+			attr, err := attrOf(n)
+			if err != nil {
+				return err
+			}
+			b.WriteString("rr(")
+			if err := writeInput(n.Input); err != nil {
+				return err
+			}
+			fmt.Fprintf(b, ", %s)", attr)
+			return nil
+		default:
+			return fmt.Errorf("node %s: operator has no DSL form", n)
+		}
+	case *Binary:
+		var name string
+		switch n.Op {
+		case filter.BUnion:
+			name = "union"
+		case filter.BIntersect:
+			name = "intersect"
+		case filter.BDiff:
+			name = "diff"
+		default:
+			return fmt.Errorf("node %s: operator has no DSL form", n)
+		}
+		b.WriteString(name)
+		b.WriteByte('(')
+		if err := writeInput(n.Left); err != nil {
+			return err
+		}
+		b.WriteString(", ")
+		if err := writeInput(n.Right); err != nil {
+			return err
+		}
+		b.WriteByte(')')
+		return nil
+	default:
+		return fmt.Errorf("unknown expression type %T", e)
+	}
+}
+
+// isDSLIdent reports whether s lexes as a single DSL identifier token. The
+// check is byte-wise with each byte widened to a rune, exactly as the lexer
+// scans, so the printer accepts precisely the names Parse can produce.
+func isDSLIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		r := rune(s[i])
+		if unicode.IsLetter(r) || r == '_' || (i > 0 && unicode.IsDigit(r)) {
+			continue
+		}
+		return false
+	}
+	return true
+}

@@ -1,0 +1,226 @@
+package smbm
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// oracle is the naive reference implementation of the SMBM semantics: every
+// dimension is a plain sorted slice, maintained by stable insertion (FIFO
+// tie-break on equal values, exactly §5.1.1's ordering). It is O(n) per
+// operation and obviously correct, which is the point.
+type oracle struct {
+	n, m int
+	// ids is the id dimension: entries sorted by id (ids are unique).
+	ids []int
+	// dims[j] is metric dimension j: (value, owner id) pairs in sorted
+	// order, FIFO on ties.
+	dims [][]oracleEntry
+	vals map[int][]int64
+}
+
+type oracleEntry struct {
+	val int64
+	id  int
+}
+
+func newOracle(n, m int) *oracle {
+	return &oracle{n: n, m: m, dims: make([][]oracleEntry, m), vals: map[int][]int64{}}
+}
+
+func (o *oracle) contains(id int) bool { _, ok := o.vals[id]; return ok }
+
+func (o *oracle) add(id int, metrics []int64) bool {
+	if id < 0 || id >= o.n || o.contains(id) || len(o.ids) >= o.n || len(metrics) != o.m {
+		return false
+	}
+	pos := sort.SearchInts(o.ids, id)
+	o.ids = append(o.ids, 0)
+	copy(o.ids[pos+1:], o.ids[pos:])
+	o.ids[pos] = id
+	for j := 0; j < o.m; j++ {
+		col := o.dims[j]
+		// First strictly greater entry: new values go after equal ones.
+		p := sort.Search(len(col), func(i int) bool { return col[i].val > metrics[j] })
+		col = append(col, oracleEntry{})
+		copy(col[p+1:], col[p:])
+		col[p] = oracleEntry{val: metrics[j], id: id}
+		o.dims[j] = col
+	}
+	o.vals[id] = append([]int64(nil), metrics...)
+	return true
+}
+
+func (o *oracle) del(id int) bool {
+	if !o.contains(id) {
+		return false
+	}
+	pos := sort.SearchInts(o.ids, id)
+	o.ids = append(o.ids[:pos], o.ids[pos+1:]...)
+	for j := 0; j < o.m; j++ {
+		col := o.dims[j]
+		for p := range col {
+			if col[p].id == id {
+				o.dims[j] = append(col[:p], col[p+1:]...)
+				break
+			}
+		}
+	}
+	delete(o.vals, id)
+	return true
+}
+
+func (o *oracle) update(id int, metrics []int64) bool {
+	// §5.1.2: update is delete followed by add, which moves the entry to
+	// the back of its equal-value run in every dimension.
+	if !o.contains(id) || len(metrics) != o.m {
+		return false
+	}
+	o.del(id)
+	o.add(id, metrics)
+	return true
+}
+
+// compare checks the SMBM against the oracle exhaustively: membership, every
+// dimension's full order (values and owning ids, which crosses the reverse
+// metric→id pointers), every id's metric tuple (which crosses the forward
+// id→metric pointers), and the structural invariants.
+func (o *oracle) compare(t *testing.T, s *SMBM, step int) {
+	t.Helper()
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("step %d: invariants: %v", step, err)
+	}
+	if s.Size() != len(o.ids) {
+		t.Fatalf("step %d: size %d, oracle %d", step, s.Size(), len(o.ids))
+	}
+	gotIDs := s.Members().IDs()
+	for i, id := range o.ids {
+		if gotIDs[i] != id {
+			t.Fatalf("step %d: member %d is id %d, oracle %d", step, i, gotIDs[i], id)
+		}
+	}
+	for j := 0; j < o.m; j++ {
+		d := s.Dim(j)
+		if d.Len() != len(o.dims[j]) {
+			t.Fatalf("step %d: dim %d has %d entries, oracle %d", step, j, d.Len(), len(o.dims[j]))
+		}
+		for p, want := range o.dims[j] {
+			if got := d.Value(p); got != want.val {
+				t.Fatalf("step %d: dim %d pos %d value %d, oracle %d", step, j, p, got, want.val)
+			}
+			if got := d.ID(p); got != want.id {
+				t.Fatalf("step %d: dim %d pos %d id %d, oracle %d (FIFO tie-break violated?)",
+					step, j, p, got, want.id)
+			}
+		}
+	}
+	for id, want := range o.vals {
+		got, ok := s.Metrics(id)
+		if !ok {
+			t.Fatalf("step %d: id %d missing", step, id)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("step %d: id %d metric %d = %d, oracle %d", step, id, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestSMBMAgainstOracle drives long randomized add/delete/update/query
+// sequences against the naive sorted-slice oracle, comparing every
+// dimension's order and all id↔metric pointers after each operation. Values
+// are drawn from a small domain so equal-value runs (the FIFO tie-break
+// cases, where pointer bugs hide) are common.
+func TestSMBMAgainstOracle(t *testing.T) {
+	const (
+		capN = 48
+		m    = 3
+		ops  = 10000
+	)
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewSource(seed))
+			s := New(capN, m)
+			o := newOracle(capN, m)
+
+			randMetrics := func() []int64 {
+				v := make([]int64, m)
+				for j := range v {
+					v[j] = int64(r.Intn(8)) // tiny domain: ties everywhere
+				}
+				return v
+			}
+
+			for step := 0; step < ops; step++ {
+				id := r.Intn(capN)
+				switch r.Intn(10) {
+				case 0, 1, 2, 3: // add
+					vals := randMetrics()
+					wantOK := o.add(id, vals)
+					err := s.Add(id, vals)
+					if (err == nil) != wantOK {
+						t.Fatalf("step %d: Add(%d) err=%v, oracle ok=%v", step, id, err, wantOK)
+					}
+				case 4, 5, 6: // delete
+					wantOK := o.del(id)
+					err := s.Delete(id)
+					if (err == nil) != wantOK {
+						t.Fatalf("step %d: Delete(%d) err=%v, oracle ok=%v", step, id, err, wantOK)
+					}
+				case 7, 8: // update
+					vals := randMetrics()
+					wantOK := o.update(id, vals)
+					err := s.Update(id, vals)
+					if (err == nil) != wantOK {
+						t.Fatalf("step %d: Update(%d) err=%v, oracle ok=%v", step, id, err, wantOK)
+					}
+				default: // point queries
+					if got, want := s.Contains(id), o.contains(id); got != want {
+						t.Fatalf("step %d: Contains(%d) = %v, oracle %v", step, id, got, want)
+					}
+					if o.contains(id) {
+						dim := r.Intn(m)
+						got, ok := s.Value(id, dim)
+						if !ok || got != o.vals[id][dim] {
+							t.Fatalf("step %d: Value(%d,%d) = (%d,%v), oracle %d",
+								step, id, dim, got, ok, o.vals[id][dim])
+						}
+					}
+				}
+				o.compare(t, s, step)
+			}
+		})
+	}
+}
+
+// TestSMBMOracleFullTable drives the structure at exactly full capacity,
+// where ErrFull and the last-slot shift paths are exercised.
+func TestSMBMOracleFullTable(t *testing.T) {
+	const capN, m = 8, 2
+	r := rand.New(rand.NewSource(42))
+	s := New(capN, m)
+	o := newOracle(capN, m)
+	for id := 0; id < capN; id++ {
+		vals := []int64{int64(r.Intn(4)), int64(r.Intn(4))}
+		if !o.add(id, vals) || s.Add(id, vals) != nil {
+			t.Fatal("fill failed")
+		}
+	}
+	o.compare(t, s, -1)
+	if err := s.Add(0, []int64{0, 0}); err == nil {
+		t.Fatal("add to full table with duplicate id succeeded")
+	}
+	// A full table still accepts updates (delete+add frees the slot).
+	for step := 0; step < 500; step++ {
+		id := r.Intn(capN)
+		vals := []int64{int64(r.Intn(4)), int64(r.Intn(4))}
+		if !o.update(id, vals) || s.Update(id, vals) != nil {
+			t.Fatalf("step %d: update at capacity failed", step)
+		}
+		o.compare(t, s, step)
+	}
+}

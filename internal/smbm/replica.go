@@ -3,6 +3,7 @@ package smbm
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // ErrWriteContention is returned when two different pipelines attempt to
@@ -22,6 +23,15 @@ type ReplicaGroup struct {
 	cycle    uint64
 	// writers maps resource id -> pipeline that wrote it this cycle.
 	writers map[int]int
+
+	// broadcast enables the thread-safe broadcast-update mode: when set,
+	// every write (and AdvanceCycle/InSync) serializes on mu, so concurrent
+	// pipelines — one goroutine each, as internal/engine models — can issue
+	// writes without external locking while the synchronous broadcast keeps
+	// the InSync invariant. Single-threaded users pay nothing: mu is only
+	// touched when broadcast is on.
+	broadcast bool
+	mu        sync.Mutex
 }
 
 // NewReplicaGroup creates numPipelines replicas, each an SMBM with capacity
@@ -40,6 +50,31 @@ func NewReplicaGroup(numPipelines, n, m int) *ReplicaGroup {
 	return g
 }
 
+// EnableBroadcast switches the group into thread-safe broadcast-update
+// mode: Add, Delete, Update, AdvanceCycle, Cycle and InSync become safe for
+// concurrent use from multiple goroutines (e.g. one per pipeline issuing
+// probe writes, as a multi-pipelined data plane would). Writes remain
+// synchronous broadcasts — each one is applied to every replica before the
+// next begins — so the InSync invariant holds at every instant a caller can
+// observe. Replica(p) reads stay single-threaded per pipeline by design:
+// each pipeline's filter module reads only its own replica (§5.1.5), so
+// reads need no locking, but callers must not read a replica concurrently
+// with writes to the group. It must be called before the group is shared.
+func (g *ReplicaGroup) EnableBroadcast() { g.broadcast = true }
+
+// lock acquires mu in broadcast mode and is a no-op otherwise.
+func (g *ReplicaGroup) lock() {
+	if g.broadcast {
+		g.mu.Lock()
+	}
+}
+
+func (g *ReplicaGroup) unlock() {
+	if g.broadcast {
+		g.mu.Unlock()
+	}
+}
+
 // NumPipelines returns the number of replicas.
 func (g *ReplicaGroup) NumPipelines() int { return len(g.replicas) }
 
@@ -53,6 +88,8 @@ func (g *ReplicaGroup) Replica(p int) *SMBM {
 // AdvanceCycle moves the group to the next logical clock cycle, clearing the
 // per-cycle write-contention tracking.
 func (g *ReplicaGroup) AdvanceCycle() {
+	g.lock()
+	defer g.unlock()
 	g.cycle++
 	for k := range g.writers {
 		delete(g.writers, k)
@@ -60,12 +97,18 @@ func (g *ReplicaGroup) AdvanceCycle() {
 }
 
 // Cycle returns the current logical cycle number.
-func (g *ReplicaGroup) Cycle() uint64 { return g.cycle }
+func (g *ReplicaGroup) Cycle() uint64 {
+	g.lock()
+	defer g.unlock()
+	return g.cycle
+}
 
 // Add applies an add for resource id, issued from pipeline from, to every
 // replica synchronously. A same-cycle write to the same id from a different
 // pipeline fails with ErrWriteContention before touching any replica.
 func (g *ReplicaGroup) Add(from, id int, metrics []int64) error {
+	g.lock()
+	defer g.unlock()
 	if err := g.claim(from, id); err != nil {
 		return err
 	}
@@ -85,6 +128,8 @@ func (g *ReplicaGroup) Add(from, id int, metrics []int64) error {
 // Delete applies a delete for resource id from pipeline from to all
 // replicas synchronously, with the same contention semantics as Add.
 func (g *ReplicaGroup) Delete(from, id int) error {
+	g.lock()
+	defer g.unlock()
 	if err := g.claim(from, id); err != nil {
 		return err
 	}
@@ -102,6 +147,8 @@ func (g *ReplicaGroup) Delete(from, id int) error {
 // Update applies an update (delete + add, §5.1.2) from pipeline from to all
 // replicas synchronously.
 func (g *ReplicaGroup) Update(from, id int, metrics []int64) error {
+	g.lock()
+	defer g.unlock()
 	if err := g.claim(from, id); err != nil {
 		return err
 	}
@@ -119,6 +166,8 @@ func (g *ReplicaGroup) Update(from, id int, metrics []int64) error {
 // InSync reports whether all replicas hold identical contents, the
 // correctness condition for the synchronous-update design.
 func (g *ReplicaGroup) InSync() bool {
+	g.lock()
+	defer g.unlock()
 	base := g.replicas[0]
 	ids := base.Members().IDs()
 	for _, r := range g.replicas[1:] {
