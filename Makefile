@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test bench check fuzz-smoke
+.PHONY: build test bench check check-debug fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,20 @@ bench:
 # check is the PR gate: build, static analysis, and race-enabled tests over
 # the whole tree — the sharded decision engine, the replica broadcast mode
 # and the event kernel all carry concurrency-sensitive invariants.
+# thanoslint runs after vet and mechanically enforces the paper's hardware
+# invariants: hot-path allocation freedom, simulation determinism, latency
+# constants, and the engine's snapshot/epoch protocol.
 check: build
 	$(GO) vet ./...
+	$(GO) run ./cmd/thanoslint .
 	$(GO) test -race ./...
+
+# check-debug re-runs the suite with the thanosdebug build tag: SMBM
+# re-verifies per-dimension sortedness and the id<->metric pointer bijection
+# after every mutating op, and thanoslint analyzes the tagged file set.
+check-debug:
+	$(GO) run ./cmd/thanoslint -debug .
+	$(GO) test -tags thanosdebug ./...
 
 # fuzz-smoke runs each native fuzz target for FUZZTIME (30s default) from
 # its checked-in seed corpus: the DSL parser round-trip and the bit-vector

@@ -1,0 +1,60 @@
+// Command thanoslint runs the repository's domain-specific static-analysis
+// suite (internal/lint) over a module tree and exits nonzero on any finding.
+//
+// Usage:
+//
+//	thanoslint [-debug] [module-root]
+//
+// module-root defaults to the current directory and must contain go.mod.
+// -debug additionally treats the thanosdebug build tag as satisfied, so the
+// assertion-enabled variants of the hardware models are analyzed too.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	debug := flag.Bool("debug", false, "analyze with the thanosdebug build tag satisfied")
+	flag.Parse()
+	dir := "."
+	if flag.NArg() > 0 {
+		dir = flag.Arg(0)
+	}
+	if err := run(dir, *debug); err != nil {
+		fmt.Fprintln(os.Stderr, "thanoslint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(dir string, debug bool) error {
+	l, err := lint.NewLoader(dir)
+	if err != nil {
+		return err
+	}
+	if debug {
+		l.Tags["thanosdebug"] = true
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		return err
+	}
+	u := lint.NewUnit(l.Fset, pkgs, lint.DefaultConfig())
+	diags, err := lint.Run(u, lint.All)
+	if err != nil {
+		return err
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		fmt.Fprintf(os.Stderr, "thanoslint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+	fmt.Printf("thanoslint: %d package(s) clean\n", len(pkgs))
+	return nil
+}

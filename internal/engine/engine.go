@@ -129,8 +129,12 @@ type Engine struct {
 	pol    *policy.Policy
 	chunk  int
 
+	// counts is the per-shard packet tally for the batch being partitioned;
+	// guarded by pmu, sized once in New, reused across batches.
+	counts []int32
+
 	// pmu serializes producers, keeping each ring single-producer and the
-	// producer scratch (pidx, batch WaitGroup, one) reusable.
+	// producer scratch (pidx, counts, batch WaitGroup, one) reusable.
 	pmu    sync.Mutex
 	wg     sync.WaitGroup // completion of the batch in flight; reused
 	one    [1]Packet      // scratch for Decide
@@ -163,7 +167,7 @@ func New(cfg Config) (*Engine, error) {
 	if chunk <= 0 {
 		chunk = DefaultChunkSize
 	}
-	e := &Engine{pol: cfg.Policy, chunk: chunk}
+	e := &Engine{pol: cfg.Policy, chunk: chunk, counts: make([]int32, n)}
 	for i := 0; i < n; i++ {
 		s := &shard{
 			ring: make([]work, ringSlots),
@@ -219,6 +223,8 @@ func (e *Engine) Close() {
 // decisions still fan out across all shards.
 //
 // The steady-state path performs no heap allocations.
+//
+//thanos:hotpath
 func (e *Engine) DecideBatch(pkts []Packet) {
 	if len(pkts) == 0 {
 		return
@@ -231,6 +237,8 @@ func (e *Engine) DecideBatch(pkts []Packet) {
 // Decide runs a single decision for policy output 0, steering it to shards
 // round-robin. It is the convenience path simulators use; batch callers get
 // far better throughput from DecideBatch.
+//
+//thanos:hotpath
 func (e *Engine) Decide() (id int, ok bool) {
 	e.pmu.Lock()
 	defer e.pmu.Unlock()
@@ -250,14 +258,24 @@ func (e *Engine) decideBatchLocked(pkts []Packet) {
 			panic(fmt.Sprintf("engine: packet %d resolves output %d, policy has %d", i, pkts[i].Out, nOut))
 		}
 	}
-	// Partition the batch across shards by steering key.
+	// Partition the batch across shards by steering key: a counting pass
+	// sizes each shard's index list exactly, so the fill pass below extends
+	// within capacity and the steady state never grows a slice.
 	ns := uint64(len(e.shards))
-	for _, s := range e.shards {
-		s.pidx = s.pidx[:0]
+	for i := range e.counts {
+		e.counts[i] = 0
+	}
+	for i := range pkts {
+		e.counts[pkts[i].Key%ns]++
+	}
+	for si, s := range e.shards {
+		s.reservePidx(int(e.counts[si]))
 	}
 	for i := range pkts {
 		s := e.shards[pkts[i].Key%ns]
-		s.pidx = append(s.pidx, int32(i))
+		n := len(s.pidx)
+		s.pidx = s.pidx[:n+1]
+		s.pidx[n] = int32(i)
 	}
 	chunks := 0
 	for _, s := range e.shards {
@@ -274,6 +292,17 @@ func (e *Engine) decideBatchLocked(pkts []Packet) {
 		}
 	}
 	e.wg.Wait()
+}
+
+// reservePidx empties the shard's packet-index scratch and ensures capacity
+// for n entries.
+//
+//thanos:coldpath amortized: grows only when a batch steers more packets to this shard than any batch before it; steady state is a re-slice
+func (s *shard) reservePidx(n int) {
+	if cap(s.pidx) < n {
+		s.pidx = make([]int32, 0, n)
+	}
+	s.pidx = s.pidx[:0]
 }
 
 // push enqueues one work descriptor on the shard's SPSC ring, spinning when
@@ -335,6 +364,8 @@ func (s *shard) run(done *sync.WaitGroup) {
 // snapshot being read, re-check that it is still active (a writer may have
 // swapped in between), execute, clear. Writers spin on inUse before mutating
 // a retired snapshot, so execution never observes a table mid-write.
+//
+//thanos:hotpath
 func (s *shard) process(w work) {
 	var st *snapshot
 	for {

@@ -113,6 +113,9 @@ func newSweepEngine(shards, tableSize int, seed int64) (*engine.Engine, error) {
 	return e, nil
 }
 
+// measureEnginePoint times one sweep configuration.
+//
+//thanos:wallclock throughput measurement: this harness reports real decisions/sec of the host, which is inherently wall-clock; simulated results use hw.Clock cycles instead
 func measureEnginePoint(shards, batch, tableSize, batches int, seed int64) (EngineSweepPoint, error) {
 	pt := EngineSweepPoint{Shards: shards, Batch: batch, TableSize: tableSize, Batches: batches}
 	e, err := newSweepEngine(shards, tableSize, seed)

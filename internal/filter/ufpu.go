@@ -95,6 +95,8 @@ func (u *UFPU) Exec(in *bitvec.Vector) *bitvec.Vector {
 // of allocating one — the steady-state datapath. out must have the input's
 // width and must not alias in (the hardware's output register is distinct
 // from its input bus); any prior contents of out are overwritten.
+//
+//thanos:hotpath
 func (u *UFPU) ExecInto(out, in *bitvec.Vector) {
 	if in.Len() != u.table.Capacity() {
 		panic(fmt.Sprintf("filter: input width %d != table capacity %d", in.Len(), u.table.Capacity()))

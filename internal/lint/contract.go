@@ -1,0 +1,56 @@
+package lint
+
+// This file is the single source of truth for the paper's per-block latency
+// table. Both the static side (the latencycontract analyzer, which verifies
+// the declared constants in each hardware-model package) and the dynamic
+// side (the thanosdebug assertions and cycle-accounting tests) trace back to
+// these rows; changing a latency here without changing the hardware model —
+// or vice versa — fails `make check`.
+
+// DefaultContract is the paper's latency table as rendered by this
+// repository's hardware-model packages.
+var DefaultContract = []LatencyConst{
+	// §5.2.1: "The processing latency is two clock cycles" (UFPU).
+	{Pkg: "repro/internal/filter", Name: "UFPUCycles", Cycles: 2, Cite: "§5.2.1"},
+	// §5.2.2: "The processing latency is exactly one clock cycle" (BFPU).
+	{Pkg: "repro/internal/filter", Name: "BFPUCycles", Cycles: 1, Cite: "§5.2.2"},
+	// Figure 12: I/O generators are bit-vector logic with BFPU-equivalent
+	// one-cycle cost.
+	{Pkg: "repro/internal/filter", Name: "IOGenCycles", Cycles: 1, Cite: "Fig. 12"},
+	// §5.1.3: "The latency of both write operations is two clock cycles"
+	// (SMBM add/delete).
+	{Pkg: "repro/internal/smbm", Name: "WriteCycles", Cycles: 2, Cite: "§5.1.3"},
+	// §5.3.2: stage crossbars are combinational but registered once per
+	// stage in the hardware model.
+	{Pkg: "repro/internal/pipeline", Name: "CrossbarCycles", Cycles: 1, Cite: "§5.3.2"},
+}
+
+// DefaultConfig returns the configuration that encodes this repository's
+// real invariants; cmd/thanoslint runs with it.
+func DefaultConfig() Config {
+	return Config{
+		DeterminismPkgs: []string{
+			"repro/internal/sim",
+			"repro/internal/engine",
+			"repro/internal/experiments",
+			"repro/internal/smbm",
+			"repro/internal/filter",
+			"repro/internal/pipeline",
+			"repro/internal/policy",
+		},
+		Contract: DefaultContract,
+		Snapshot: SnapshotConfig{
+			Pkg:        "repro/internal/engine",
+			Types:      []string{"snapshot"},
+			AllowFuncs: []string{"New", "apply"},
+			StoreFields: map[string][]string{
+				// active is the epoch publish pointer: only construction and
+				// the writer-side swap may store it.
+				"active": {"New", "apply"},
+				// inUse is the reader's epoch pin: only the shard reader's
+				// execution function may store it.
+				"inUse": {"process"},
+			},
+		},
+	}
+}

@@ -1,0 +1,8 @@
+package lint
+
+import "testing"
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{DeterminismPkgs: []string{"fixture/determinism"}}
+	checkFixture(t, Determinism, cfg, "fixture/determinism")
+}

@@ -1,0 +1,106 @@
+package lint
+
+// This file is the suite's analysistest equivalent, built on the offline
+// loader: fixture packages under testdata/src (a self-contained "fixture"
+// module the go tool never builds) annotate each seeded violation with an
+// analysistest-style expectation comment
+//
+//	code() // want `regexp` `another regexp`
+//
+// and checkFixture verifies the analyzer produces exactly the expected
+// diagnostics — same file, same line, message matching — and nothing else.
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// checkFixture loads the given fixture packages (import paths in the
+// testdata/src module), runs one analyzer over them with cfg, and compares
+// the diagnostics against the fixtures' "// want" comments.
+func checkFixture(t *testing.T, a *Analyzer, cfg Config, paths ...string) {
+	t.Helper()
+	l, err := NewLoader("testdata/src")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	var pkgs []*Package
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			t.Fatalf("load %s: %v", p, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	u := NewUnit(l.Fset, pkgs, cfg)
+	diags, err := Run(u, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+	wants := parseWants(t, l, pkgs)
+	for _, d := range diags {
+		if !matchWant(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func matchWant(wants []*want, d Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func parseWants(t *testing.T, l *Loader, pkgs []*Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, "want ")
+					if !ok {
+						continue
+					}
+					pos := l.Fset.Position(c.Pos())
+					for rest = strings.TrimSpace(rest); rest != ""; rest = strings.TrimSpace(rest) {
+						q, err := strconv.QuotedPrefix(rest)
+						if err != nil {
+							t.Fatalf("%s: malformed want comment %q: %v", pos, c.Text, err)
+						}
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: malformed want pattern %s: %v", pos, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+						rest = rest[len(q):]
+					}
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestHotPathAlloc(t *testing.T) {
+	checkFixture(t, HotPathAlloc, Config{}, "fixture/hotpathalloc")
+}

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// LatencyContract verifies that every hardware-model package declares its
+// per-block latency constants, and that the declared values match the
+// paper's table (internal/lint/contract.go — the single source of truth).
+// The hardware models tick their hw.Clock by these constants, so a drifted
+// constant silently skews every cycle-accounted experiment; the analyzer
+// turns that drift into a build failure that cites the paper section being
+// contradicted.
+var LatencyContract = &Analyzer{
+	Name: "latencycontract",
+	Doc:  "declared latency constants match the paper's latency table",
+	Run:  runLatencyContract,
+}
+
+func runLatencyContract(u *Unit) error {
+	byPath := map[string]*Package{}
+	for _, pkg := range u.Pkgs {
+		byPath[pkg.Path] = pkg
+	}
+	for _, row := range u.Config.Contract {
+		pkg, ok := byPath[row.Pkg]
+		if !ok {
+			u.Reportf(token.NoPos, "latency contract references package %s (%s = %d, %s), but it was not loaded",
+				row.Pkg, row.Name, row.Cycles, row.Cite)
+			continue
+		}
+		checkLatencyRow(u, pkg, row)
+	}
+	return nil
+}
+
+func checkLatencyRow(u *Unit, pkg *Package, row LatencyConst) {
+	spec, isConst := findValueSpec(pkg, row.Name)
+	if spec == nil {
+		// Report at the package clause of the first file.
+		pos := token.NoPos
+		if len(pkg.Files) > 0 {
+			pos = pkg.Files[0].Name.Pos()
+		}
+		u.Reportf(pos, "package %s must declare latency constant %s = %d (paper %s)",
+			pkg.Path, row.Name, row.Cycles, row.Cite)
+		return
+	}
+	if !isConst {
+		u.Reportf(spec.Pos(), "%s must be a declared constant, not a variable: the paper fixes it at %d cycles (%s)",
+			row.Name, row.Cycles, row.Cite)
+		return
+	}
+	obj, ok := pkg.Types.Scope().Lookup(row.Name).(*types.Const)
+	if !ok {
+		u.Reportf(spec.Pos(), "%s must be a package-level constant (paper %s)", row.Name, row.Cite)
+		return
+	}
+	if !isIntegerConst(obj) {
+		u.Reportf(spec.Pos(), "%s must be an integer cycle count; paper %s fixes it at %d", row.Name, row.Cite, row.Cycles)
+		return
+	}
+	val, exact := constant.Int64Val(constant.ToInt(obj.Val()))
+	if !exact || val != row.Cycles {
+		u.Reportf(spec.Pos(), "%s = %s contradicts the paper: %s specifies %d cycle(s)",
+			row.Name, obj.Val().ExactString(), row.Cite, row.Cycles)
+	}
+}
+
+// findValueSpec locates the package-level declaration of name, reporting
+// whether it appears in a const (as opposed to var) declaration.
+func findValueSpec(pkg *Package, name string) (spec *ast.ValueSpec, isConst bool) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || (gd.Tok != token.CONST && gd.Tok != token.VAR) {
+				continue
+			}
+			for _, s := range gd.Specs {
+				vs, ok := s.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, n := range vs.Names {
+					if n.Name == name {
+						return vs, gd.Tok == token.CONST
+					}
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+func isIntegerConst(c *types.Const) bool {
+	if c.Val().Kind() == constant.Int {
+		return true
+	}
+	b, ok := c.Type().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

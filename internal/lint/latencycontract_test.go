@@ -1,0 +1,15 @@
+package lint
+
+import "testing"
+
+func TestLatencyContract(t *testing.T) {
+	rows := func(pkg string) []LatencyConst {
+		return []LatencyConst{
+			{Pkg: pkg, Name: "UFPUCycles", Cycles: 2, Cite: "§5.2.1"},
+			{Pkg: pkg, Name: "BFPUCycles", Cycles: 1, Cite: "§5.2.2"},
+			{Pkg: pkg, Name: "WriteCycles", Cycles: 2, Cite: "§5.1.3"},
+		}
+	}
+	cfg := Config{Contract: append(rows("fixture/latencycontract/bad"), rows("fixture/latencycontract/good")...)}
+	checkFixture(t, LatencyContract, cfg, "fixture/latencycontract/bad", "fixture/latencycontract/good")
+}

@@ -1,0 +1,26 @@
+package lint
+
+import "testing"
+
+// TestRepositoryClean codifies the acceptance criterion that the cleaned
+// tree passes: the full analyzer suite over the real module reports nothing.
+func TestRepositoryClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module analysis skipped in -short mode")
+	}
+	l, err := NewLoader("../..")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	diags, err := Run(NewUnit(l.Fset, pkgs, DefaultConfig()), All)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SnapshotSafety enforces the engine's epoch-publication protocol at the
+// type level. The protocol (engine.apply / engine.process) guarantees that a
+// reader never observes a half-written table; that guarantee holds only if
+//
+//   - fields of the epoch-published snapshot structs are assigned solely
+//     inside the designated construction/publish functions, and
+//   - the atomic publish pointers (active, inUse) are Stored only by the
+//     designated side of the protocol (writer swap vs. reader pin), and
+//   - sync primitives (mutexes, wait groups, atomics) are never copied by
+//     value, which would silently fork their state.
+var SnapshotSafety = &Analyzer{
+	Name: "snapshotsafety",
+	Doc:  "snapshot state mutates only behind the epoch publish; no locks copied by value",
+	Run:  runSnapshotSafety,
+}
+
+// atomic store-like methods: calling any of these writes the pointer.
+var storeMethods = map[string]bool{"Store": true, "Swap": true, "CompareAndSwap": true}
+
+func runSnapshotSafety(u *Unit) error {
+	cfg := u.Config.Snapshot
+	for _, pkg := range u.Pkgs {
+		inScope := cfg.Pkg != "" && pathMatchesAny(pkg.Path, []string{cfg.Pkg})
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if inScope {
+					checkLockCopies(u, pkg, fd)
+				}
+				if fd.Body == nil || !inScope {
+					continue
+				}
+				checkSnapshotWrites(u, pkg, fd, cfg)
+			}
+		}
+	}
+	return nil
+}
+
+// --- snapshot-field and publish-pointer discipline ---
+
+func checkSnapshotWrites(u *Unit, pkg *Package, fd *ast.FuncDecl, cfg SnapshotConfig) {
+	fname := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				checkSnapshotFieldTarget(u, pkg, fd, l, cfg)
+			}
+		case *ast.IncDecStmt:
+			checkSnapshotFieldTarget(u, pkg, fd, n.X, cfg)
+		case *ast.CallExpr:
+			checkPublishStore(u, pkg, fname, n, cfg)
+		}
+		return true
+	})
+}
+
+// checkSnapshotFieldTarget flags sel-expression assignment targets whose
+// receiver is one of the epoch-published snapshot types, outside AllowFuncs.
+func checkSnapshotFieldTarget(u *Unit, pkg *Package, fd *ast.FuncDecl, target ast.Expr, cfg SnapshotConfig) {
+	sel, ok := unparen(target).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	named := namedOf(pkg.Info.TypeOf(sel.X))
+	if named == nil || named.Obj().Pkg() != pkg.Types {
+		return
+	}
+	isSnapshot := false
+	for _, name := range cfg.Types {
+		if named.Obj().Name() == name {
+			isSnapshot = true
+			break
+		}
+	}
+	if !isSnapshot {
+		return
+	}
+	for _, allowed := range cfg.AllowFuncs {
+		if fd.Name.Name == allowed {
+			return
+		}
+	}
+	u.Reportf(target.Pos(), "assignment to %s.%s outside the publish/swap functions (%v): snapshot state may only change behind the epoch publish",
+		named.Obj().Name(), sel.Sel.Name, cfg.AllowFuncs)
+}
+
+// checkPublishStore flags x.<field>.Store(...) (and Swap/CompareAndSwap)
+// where <field> is a configured publish pointer and the enclosing function is
+// not on that field's allow list.
+func checkPublishStore(u *Unit, pkg *Package, fname string, call *ast.CallExpr, cfg SnapshotConfig) {
+	method, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !storeMethods[method.Sel.Name] {
+		return
+	}
+	field, ok := unparen(method.X).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	v, ok := pkg.Info.Uses[field.Sel].(*types.Var)
+	if !ok || !v.IsField() || v.Pkg() != pkg.Types {
+		return
+	}
+	allowed, configured := cfg.StoreFields[field.Sel.Name]
+	if !configured {
+		return
+	}
+	for _, a := range allowed {
+		if fname == a {
+			return
+		}
+	}
+	u.Reportf(call.Pos(), "%s on publish pointer %q outside its protocol functions (%v): epoch publication has exactly one writer side",
+		method.Sel.Name, field.Sel.Name, allowed)
+}
+
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return n
+}
+
+// --- lock-by-value detection ---
+
+func checkLockCopies(u *Unit, pkg *Package, fd *ast.FuncDecl) {
+	// Signature: receivers, params, and results must not carry sync state by
+	// value.
+	for _, fl := range fieldLists(fd) {
+		if fl == nil {
+			continue
+		}
+		for _, f := range fl.List {
+			if t := pkg.Info.TypeOf(f.Type); t != nil {
+				if name := lockIn(t, nil); name != "" {
+					u.Reportf(f.Type.Pos(), "passes %s (contains %s) by value: copying forks its state", t, name)
+				}
+			}
+		}
+	}
+	if fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, r := range n.Rhs {
+				checkLockValueRead(u, pkg, r)
+			}
+		case *ast.CallExpr:
+			for _, a := range n.Args {
+				checkLockValueRead(u, pkg, a)
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if t := pkg.Info.TypeOf(n.Value); t != nil {
+					if name := lockIn(t, nil); name != "" {
+						u.Reportf(n.Value.Pos(), "range copies %s (contains %s) by value", t, name)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				checkLockValueRead(u, pkg, r)
+			}
+		}
+		return true
+	})
+}
+
+func fieldLists(fd *ast.FuncDecl) []*ast.FieldList {
+	return []*ast.FieldList{fd.Recv, fd.Type.Params, fd.Type.Results}
+}
+
+// checkLockValueRead flags expressions that read an existing lock-containing
+// value (copying it). Composite literals and conversions construct fresh
+// zero-state values and are allowed.
+func checkLockValueRead(u *Unit, pkg *Package, e ast.Expr) {
+	switch unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	t := pkg.Info.TypeOf(e)
+	if t == nil {
+		return
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return
+	}
+	if name := lockIn(t, nil); name != "" {
+		u.Reportf(e.Pos(), "copies %s (contains %s) by value: copying forks its state", t, name)
+	}
+}
+
+// lockIn returns the name of a sync primitive contained (by value) in t, or
+// "".
+func lockIn(t types.Type, seen map[types.Type]bool) string {
+	if t == nil {
+		return ""
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if p := obj.Pkg(); p != nil {
+			switch p.Path() {
+			case "sync":
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+					return "sync." + obj.Name()
+				}
+			case "sync/atomic":
+				switch obj.Name() {
+				case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+					return "atomic." + obj.Name()
+				}
+			}
+		}
+		return lockIn(named.Underlying(), seen)
+	}
+	switch t := t.(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if name := lockIn(t.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return lockIn(t.Elem(), seen)
+	}
+	return ""
+}

@@ -1,0 +1,16 @@
+package lint
+
+import "testing"
+
+func TestSnapshotSafety(t *testing.T) {
+	cfg := Config{Snapshot: SnapshotConfig{
+		Pkg:        "fixture/snapshotsafety",
+		Types:      []string{"snapshot"},
+		AllowFuncs: []string{"New", "apply"},
+		StoreFields: map[string][]string{
+			"active": {"New", "apply"},
+			"inUse":  {"process"},
+		},
+	}}
+	checkFixture(t, SnapshotSafety, cfg, "fixture/snapshotsafety")
+}

@@ -1,0 +1,118 @@
+// Package determinism seeds violations of the replayability rules: wall
+// clock, global math/rand, and map-iteration-order leaks.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func Clock() int64 {
+	return time.Now().UnixNano() // want `time.Now is nondeterministic`
+}
+
+// Bench is a legitimate measurement harness.
+//
+//thanos:wallclock measures host throughput, inherently wall-clock
+func Bench() time.Duration {
+	start := time.Now() // exempt: annotated with justification
+	return time.Since(start)
+}
+
+// BadMark carries the marker but no justification.
+//
+//thanos:wallclock
+func BadMark() time.Time { // want `requires a justification`
+	return time.Now()
+}
+
+func GlobalRand() int {
+	return rand.Intn(10) // want `global math/rand.Intn`
+}
+
+func LocalRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // exempt: seeded local generator
+	return r.Intn(10)
+}
+
+func PrintLeak(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `map-iteration-dependent argument`
+	}
+}
+
+func ReturnLeak(m map[string]int) string {
+	for k := range m {
+		return k // want `return of a map-iteration-dependent value`
+	}
+	return ""
+}
+
+func AppendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys in map-iteration order`
+	}
+	return keys
+}
+
+func LastWins(m map[string]int) string {
+	var last string
+	for k := range m {
+		last = k // want `assignment to last leaks map iteration order`
+	}
+	return last
+}
+
+func ChanLeak(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside map range`
+	}
+}
+
+// The idiomatic order-insensitive patterns below must stay clean.
+
+func CollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // exempt: sorted below
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func Accumulate(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v // exempt: commutative accumulation
+	}
+	return sum
+}
+
+func KeyedWrite(m map[string]int, out map[string]bool) {
+	for k, v := range m {
+		if v > 0 {
+			out[k] = true // exempt: write keyed by the iteration variable
+		}
+	}
+}
+
+func FilteredDelete(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k) // exempt: idiomatic filtered removal
+		}
+	}
+}
+
+func FlagSet(m map[string]int) bool {
+	found := false
+	for _, v := range m {
+		if v > 100 {
+			found = true // exempt: idempotent constant flag
+		}
+	}
+	return found
+}

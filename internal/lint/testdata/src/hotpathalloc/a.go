@@ -1,0 +1,37 @@
+// Package hotpathalloc seeds one violation per allocating construct the
+// analyzer must reject on a //thanos:hotpath function.
+package hotpathalloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+type pair struct{ a, b int }
+
+var sink any
+
+func box(v any) { sink = v }
+
+//thanos:hotpath
+func Hot(xs []int, n int, fp func() int, s1, s2 string, bs []byte) int {
+	buf := make([]int, n)        // want `make allocates`
+	p := new(int)                // want `new allocates`
+	xs = append(xs, n)           // want `growing append may allocate`
+	m := map[int]int{n: n}       // want `map literal allocates`
+	sl := []int{1, 2}            // want `slice literal allocates`
+	pr := &pair{a: n}            // want `escapes to the heap`
+	f := func() int { return n } // want `closure captures "n"`
+	_ = fmt.Sprint(n)            // want `call to fmt.Sprint allocates` `argument boxes int into interface`
+	err := errors.New("boom")    // want `call to errors.New allocates`
+	sink = n                     // want `assignment boxes int into interface`
+	box(n)                       // want `argument boxes int into interface`
+	cat := s1 + s2               // want `string concatenation allocates`
+	b2 := []byte(s1)             // want `conversion allocates`
+	s3 := string(bs)             // want `conversion allocates`
+	go fp()                      // want `go statement launches a goroutine`
+	_ = fp()                     // want `dynamic call`
+	_, _, _, _, _, _ = p, m, sl, pr, f, err
+	_, _, _, _ = cat, b2, s3, buf
+	return len(xs)
+}

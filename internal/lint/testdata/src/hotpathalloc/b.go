@@ -1,0 +1,36 @@
+package hotpathalloc
+
+import "fmt"
+
+// Entry is hot; helper is not annotated but is statically reachable, so its
+// allocation is still a finding.
+//
+//thanos:hotpath
+func Entry(n int) int { return helper(n) }
+
+func helper(n int) int {
+	return len(make([]byte, n)) // want `make allocates`
+}
+
+// grow is a reviewed amortized slow path: traversal stops here.
+//
+//thanos:coldpath amortized growth, cross-checked by allocs tests
+func grow(n int) []byte {
+	return make([]byte, n)
+}
+
+//thanos:hotpath
+func EntryCold(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("negative %d", n)) // failure path: exempt
+	}
+	return len(grow(n))
+}
+
+//thanos:hotpath
+func EntryGuard(n int) (int, error) {
+	if n == 0 {
+		return 0, fmt.Errorf("zero input") // error-constructing guard: exempt
+	}
+	return n, nil
+}

@@ -1,0 +1,6 @@
+// Package bad seeds latency-contract violations.
+package bad // want `must declare latency constant WriteCycles = 2 \(paper §5.1.3\)`
+
+const UFPUCycles = 3 // want `UFPUCycles = 3 contradicts the paper: §5.2.1 specifies 2 cycle\(s\)`
+
+var BFPUCycles = 1 // want `BFPUCycles must be a declared constant`

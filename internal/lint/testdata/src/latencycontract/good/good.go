@@ -1,0 +1,9 @@
+// Package good declares the paper's latency table correctly; the analyzer
+// must stay silent.
+package good
+
+const (
+	UFPUCycles  = 2
+	BFPUCycles  = 1
+	WriteCycles = 2
+)

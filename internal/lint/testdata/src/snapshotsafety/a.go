@@ -1,0 +1,60 @@
+// Package snapshotsafety seeds violations of the epoch-publication
+// discipline: out-of-protocol snapshot mutation, rogue publish-pointer
+// stores, and sync primitives copied by value.
+package snapshotsafety
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type snapshot struct {
+	table []int
+	gen   int
+}
+
+type shard struct {
+	active atomic.Pointer[snapshot]
+	inUse  atomic.Pointer[snapshot]
+	mu     sync.Mutex
+}
+
+// New constructs a shard; it is on the allow list.
+func New() *shard {
+	s := &shard{}
+	st := &snapshot{}
+	st.gen = 1         // exempt: construction
+	s.active.Store(st) // exempt: construction
+	return s
+}
+
+// apply is the writer-side swap; it is on the allow list.
+func apply(s *shard, st *snapshot) {
+	st.gen++           // exempt: publish/swap function
+	s.active.Store(st) // exempt: writer-side swap
+}
+
+// process is the reader; it may pin epochs via inUse only.
+func process(s *shard) {
+	st := s.active.Load()
+	s.inUse.Store(st) // exempt: reader-side epoch pin
+	s.inUse.Store(nil)
+}
+
+func Mutate(st *snapshot) {
+	st.gen = 2 // want `assignment to snapshot.gen outside the publish/swap functions`
+}
+
+func Rogue(s *shard, st *snapshot) {
+	s.active.Store(st) // want `Store on publish pointer "active" outside its protocol functions`
+	s.inUse.Store(nil) // want `Store on publish pointer "inUse" outside its protocol functions`
+}
+
+func Clone(s *shard) shard { // want `passes fixture/snapshotsafety.shard \(contains atomic.Pointer\) by value`
+	return *s // want `copies fixture/snapshotsafety.shard \(contains atomic.Pointer\) by value`
+}
+
+func Steal(s *shard) {
+	mu := s.mu // want `copies sync.Mutex \(contains sync.Mutex\) by value`
+	mu.Lock()
+}

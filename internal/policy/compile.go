@@ -59,7 +59,12 @@ func Compile(p *Policy, schema Schema, params pipeline.Params) (*Compiled, error
 	if err != nil {
 		return nil, fmt.Errorf("policy %q: %w", p.Name, err)
 	}
-	return &Compiled{Policy: p, Schema: schema, Config: cfg, OutputLines: outLines}, nil
+	return &Compiled{
+		Policy: p, Schema: schema, Config: cfg, OutputLines: outLines,
+		// The input-reference scratch is sized here so RunInto never
+		// allocates on the steady-state path.
+		ins: make([]*bitvec.Vector, params.Inputs),
+	}, nil
 }
 
 // NewPipeline compiles the policy and instantiates the resulting pipeline
@@ -95,13 +100,15 @@ func (c *Compiled) Run(pl *pipeline.Pipeline) ([]*bitvec.Vector, error) {
 // slice (len = number of policy outputs) instead of allocating one — the
 // steady-state datapath. The pipeline reads the table's live membership view
 // directly, so a full filter evaluation allocates nothing.
+//
+//thanos:hotpath
 func (c *Compiled) RunInto(dst []*bitvec.Vector, pl *pipeline.Pipeline) error {
 	if len(dst) != len(c.OutputLines) {
 		return fmt.Errorf("policy: dst holds %d outputs, policy has %d", len(dst), len(c.OutputLines))
 	}
 	n := c.Config.Params.Inputs
-	if c.ins == nil {
-		c.ins = make([]*bitvec.Vector, n)
+	if len(c.ins) != n {
+		return fmt.Errorf("policy: Compiled was not built by Compile: %d input slots, need %d", len(c.ins), n)
 	}
 	members := pl.Table().MembersView()
 	for i := range c.ins {
@@ -299,30 +306,39 @@ func (c *compiler) run() (pipeline.Config, []int, error) {
 				producedNow[j.node] = true
 			}
 		}
+		// Collected in deterministic order — topo order of the consuming
+		// ops, then declared output order — so the compiled layout (and
+		// therefore every downstream crossbar routing) is identical across
+		// runs; map iteration here once made carry-slot placement flap.
 		needLater := map[Expr]bool{}
+		var needOrder []Expr
+		addNeed := func(v Expr) {
+			if !needLater[v] {
+				needLater[v] = true
+				needOrder = append(needOrder, v)
+			}
+		}
 		for _, op := range ops {
 			if placed[op] {
 				continue // produced this stage or earlier
 			}
 			for _, in := range c.inputsOf(op) {
 				if !producedNow[in] {
-					needLater[in] = true
+					addNeed(in)
 				}
 			}
 		}
-		for out := range outSet {
-			if !producedNow[out] {
-				needLater[out] = true
+		for _, o := range c.policy.Outputs {
+			if out := c.canon(o.Expr); !producedNow[out] {
+				addNeed(out)
 			}
 		}
-		for v := range needLater {
+		for _, v := range needOrder {
 			if _, isLive := live[v]; !isLive {
 				// Will become live when produced in a later stage; no
 				// carry possible or needed yet.
-				delete(needLater, v)
+				continue
 			}
-		}
-		for v := range needLater {
 			jobs = append(jobs, job{kind: carry, node: v, in: []Expr{v}})
 		}
 

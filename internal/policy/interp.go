@@ -198,6 +198,8 @@ func (it *Interp) Policy() *Policy { return it.policy }
 // The returned slice and the vectors it holds are the interpreter's own
 // reusable buffers: they are valid until the next Exec call, which
 // overwrites them. Callers must copy anything they need to keep.
+//
+//thanos:hotpath
 func (it *Interp) Exec() []*bitvec.Vector {
 	for i := range it.prog {
 		st := &it.prog[i]
@@ -228,6 +230,8 @@ func (it *Interp) ResetState() {
 // returns the table for output i, or — when that table is empty — the table
 // of its fallback output, following chains. This is the job Figure 14
 // assigns to the RMT match-action stage immediately after the filter module.
+//
+//thanos:hotpath
 func Resolve(p *Policy, outs []*bitvec.Vector, i int) *bitvec.Vector {
 	if len(outs) != len(p.Outputs) {
 		panic(fmt.Sprintf("policy: %d outputs for policy with %d", len(outs), len(p.Outputs)))

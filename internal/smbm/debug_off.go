@@ -1,0 +1,10 @@
+//go:build !thanosdebug
+
+package smbm
+
+// debugAssertions reports whether the thanosdebug runtime checks are
+// compiled in. In normal builds it is constant false, so the assertion
+// hooks below compile to nothing.
+const debugAssertions = false
+
+func (s *SMBM) assertConsistent(op string) {}

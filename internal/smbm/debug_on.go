@@ -1,0 +1,17 @@
+//go:build thanosdebug
+
+package smbm
+
+// Built with -tags thanosdebug, every mutating SMBM operation re-verifies
+// the structure's full invariant set — strict per-dimension sortedness and
+// the id↔metric pointer bijection of §5.1.1 — and panics on the first
+// violation, naming the operation that broke it. The checks are O(n·m) per
+// write, far above the modeled 2-cycle budget, which is exactly why they
+// live behind a build tag rather than in the shipping datapath.
+const debugAssertions = true
+
+func (s *SMBM) assertConsistent(op string) {
+	if err := s.CheckInvariants(); err != nil {
+		panic("smbm: invariant violated after " + op + ": " + err.Error())
+	}
+}

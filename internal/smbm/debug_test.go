@@ -1,0 +1,67 @@
+//go:build thanosdebug
+
+package smbm
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDebugAssertionFiresOnCorruption deliberately breaks the id↔metric
+// pointer bijection behind the public API's back and proves the
+// thanosdebug assertion catches it on the next mutating operation. This is
+// the check that would surface a miscompiled shift-and-write: a metric
+// entry pointing at the wrong id slot reads as valid data in every lookup
+// but silently mis-sorts the dimension it belongs to.
+func TestDebugAssertionFiresOnCorruption(t *testing.T) {
+	if !debugAssertions {
+		t.Fatal("debugAssertions must be true under -tags thanosdebug")
+	}
+	s := New(16, 2)
+	for id := 0; id < 4; id++ {
+		if err := s.Add(id, []int64{int64(10 * id), int64(100 - id)}); err != nil {
+			t.Fatalf("Add(%d): %v", id, err)
+		}
+	}
+
+	// Corrupt one metric→id back-pointer: entry 0 of dimension 0 now claims
+	// to describe the resource in id slot 2.
+	s.metrics[0][0].idPos = 2
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Delete on a corrupted SMBM did not panic; bijection assertion failed to fire")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "invariant violated after Delete") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+		if !strings.Contains(msg, "pointer mismatch") {
+			t.Fatalf("panic does not name the pointer bijection: %v", r)
+		}
+	}()
+	_ = s.Delete(3)
+}
+
+// TestDebugAssertionCleanOps proves the assertions stay silent across a
+// normal add/update/delete workload, so -tags thanosdebug test runs only
+// fail on real corruption.
+func TestDebugAssertionCleanOps(t *testing.T) {
+	s := New(32, 3)
+	for id := 0; id < 20; id++ {
+		if err := s.Add(id, []int64{int64(id % 5), int64(-id), 7}); err != nil {
+			t.Fatalf("Add(%d): %v", id, err)
+		}
+	}
+	for id := 0; id < 20; id += 2 {
+		if err := s.Update(id, []int64{int64(id), 0, int64(id * id)}); err != nil {
+			t.Fatalf("Update(%d): %v", id, err)
+		}
+	}
+	for id := 1; id < 20; id += 2 {
+		if err := s.Delete(id); err != nil {
+			t.Fatalf("Delete(%d): %v", id, err)
+		}
+	}
+}

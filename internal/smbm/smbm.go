@@ -165,6 +165,7 @@ func (s *SMBM) Add(id int, metrics []int64) error {
 	s.members.Set(id)
 
 	s.clock.Tick(WriteCycles)
+	s.assertConsistent("Add")
 	return nil
 }
 
@@ -204,6 +205,7 @@ func (s *SMBM) Delete(id int) error {
 	s.members.Clear(id)
 
 	s.clock.Tick(WriteCycles)
+	s.assertConsistent("Delete")
 	return nil
 }
 
@@ -371,10 +373,21 @@ func (s *SMBM) CheckInvariants() error {
 	return nil
 }
 
+// findID locates id in the sorted id dimension. The binary search is
+// hand-rolled rather than sort.Search: findID sits on the read path (Value,
+// weight lookups during Exec) and the closure sort.Search takes would
+// capture its surroundings and allocate.
 func (s *SMBM) findID(id int) (pos int, ok bool) {
-	pos = sort.Search(len(s.ids), func(i int) bool { return s.ids[i].id >= id })
-	ok = pos < len(s.ids) && s.ids[pos].id == id
-	return pos, ok
+	lo, hi := 0, len(s.ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.ids[mid].id < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(s.ids) && s.ids[lo].id == id
 }
 
 func (s *SMBM) checkDim(dim int) {
