@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test bench check check-debug fuzz-smoke
+.PHONY: build test bench check check-debug fuzz-smoke overhead-smoke metrics-demo
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,8 @@ bench:
 # and the event kernel all carry concurrency-sensitive invariants.
 # thanoslint runs after vet and mechanically enforces the paper's hardware
 # invariants: hot-path allocation freedom, simulation determinism, latency
-# constants, and the engine's snapshot/epoch protocol.
+# constants, the engine's snapshot/epoch protocol, and the telemetry layer's
+# lock-free hot-safe API discipline.
 check: build
 	$(GO) vet ./...
 	$(GO) run ./cmd/thanoslint .
@@ -36,3 +37,27 @@ check-debug:
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=^FuzzParse$$ -fuzztime=$(FUZZTIME) ./internal/policy/
 	$(GO) test -run=^$$ -fuzz=^FuzzVectorOps$$ -fuzztime=$(FUZZTIME) ./internal/bitvec/
+
+# overhead-smoke is the telemetry cost gate: the fully instrumented batched
+# decision path must stay at zero steady-state allocations and within 5% of
+# uninstrumented throughput (default 1-in-1024 trace sampling).
+overhead-smoke:
+	THANOS_OVERHEAD_SMOKE=1 $(GO) test -run '^TestTelemetryOverheadSmoke$$' -v ./internal/engine/
+
+# metrics-demo boots one netsim run with the telemetry endpoint, scrapes
+# /metrics while the process holds, and prints the thanos_* samples.
+METRICS_ADDR ?= 127.0.0.1:9090
+metrics-demo: build
+	@$(GO) build -o /tmp/thanos-netsim ./cmd/netsim
+	@/tmp/thanos-netsim -flows 120 -scale 0.2 -metrics $(METRICS_ADDR) -hold 8s & \
+	pid=$$!; \
+	sleep 1; \
+	for i in 1 2 3 4 5 6 7 8; do \
+		if curl -sf http://$(METRICS_ADDR)/metrics >/dev/null 2>&1; then break; fi; \
+		sleep 1; \
+	done; \
+	echo "--- scrape of http://$(METRICS_ADDR)/metrics ---"; \
+	curl -sf http://$(METRICS_ADDR)/metrics | grep '^thanos_'; \
+	status=$$?; \
+	wait $$pid; \
+	exit $$status

@@ -14,13 +14,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	stdnet "net"
+	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/netsim"
 	"repro/internal/netsim/topology"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -37,16 +41,36 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	d := flag.Int("d", 2, "DRILL d")
 	m := flag.Int("m", 1, "DRILL m")
+	metrics := flag.String("metrics", "", "serve /metrics, /debug/vars and /trace on this address (e.g. :9090)")
+	hold := flag.Duration("hold", 0, "keep the process (and the metrics endpoint) alive this long after the run")
 	flag.Parse()
 
-	if err := run(*topo, *kAry, *leaves, *spines, *hostsPerLeaf, *pol, *load, *flows, *scale, *seed, *d, *m); err != nil {
+	if err := run(*topo, *kAry, *leaves, *spines, *hostsPerLeaf, *pol, *load, *flows, *scale, *seed, *d, *m, *metrics, *hold); err != nil {
 		fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
+// serveMetrics binds addr synchronously (so a bad address fails the run
+// up front) and serves the telemetry mux in the background for the life of
+// the process.
+func serveMetrics(addr string, reg *telemetry.Registry) error {
+	ln, err := stdnet.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("metrics: serving /metrics, /debug/vars, /trace on http://%s\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, telemetry.Mux(reg, nil)); err != nil {
+			fmt.Fprintf(os.Stderr, "netsim: metrics server: %v\n", err)
+		}
+	}()
+	return nil
+}
+
 func run(topo string, kAry, leaves, spines, hostsPerLeaf int, pol string,
-	load float64, flows int, scale float64, seed int64, d, m int) error {
+	load float64, flows int, scale float64, seed int64, d, m int,
+	metricsAddr string, hold time.Duration) error {
 
 	cfg := experiments.DefaultNetConfig(seed)
 	cfg.Leaves, cfg.Spines, cfg.HostsPerLeaf = leaves, spines, hostsPerLeaf
@@ -81,6 +105,13 @@ func run(topo string, kAry, leaves, spines, hostsPerLeaf int, pol string,
 	}
 	if err != nil {
 		return err
+	}
+	if metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		net.RegisterTelemetry(reg, "thanos_netsim")
+		if err := serveMetrics(metricsAddr, reg); err != nil {
+			return err
+		}
 	}
 
 	hosts := len(net.Hosts)
@@ -130,6 +161,10 @@ func run(topo string, kAry, leaves, spines, hostsPerLeaf int, pol string,
 		}
 	}
 	fmt.Printf("switch drops: %d, simulated time: %v\n", drops, net.Sched.Now())
+	if hold > 0 {
+		fmt.Printf("holding %v for metric scrapes...\n", hold)
+		time.Sleep(hold)
+	}
 	return nil
 }
 

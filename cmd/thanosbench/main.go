@@ -32,6 +32,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/experiments/runner"
 	"repro/internal/lb"
+	"repro/internal/telemetry"
 )
 
 // benchRecord is one experiment's entry in the -benchjson output.
@@ -65,6 +66,8 @@ func main() {
 	benchjson := flag.String("benchjson", "", "write machine-readable results as JSON to this file (\"-\" for stdout)")
 	engineFlag := flag.Bool("engine", false, "run the sharded decision-engine throughput sweep (shorthand for -exp engine)")
 	shards := flag.Int("shards", 8, "maximum shard count for the engine sweep (sweeps powers of two up to this)")
+	metricsOut := flag.String("metrics", "", "run an instrumented engine point and write its Prometheus text snapshot to this file")
+	traceOut := flag.String("trace", "", "run an instrumented engine point and write its sampled decisions as Chrome trace_event JSON to this file")
 	flag.Parse()
 
 	pool := runner.Serial()
@@ -151,12 +154,74 @@ func main() {
 			Result:     res,
 		})
 	}
+	// An instrumented engine point rides along whenever the engine sweep was
+	// selected or a telemetry export was requested: its metric snapshot goes
+	// into the benchjson record, and -metrics/-trace export the Prometheus
+	// text and Chrome trace alongside.
+	if *engineFlag || *metricsOut != "" || *traceOut != "" {
+		batch, batches := 4096, 200
+		if *quick {
+			batches = 20
+		}
+		start := time.Now()
+		tel, err := experiments.EngineTelemetryPoint(*shards, batch, 64, batches, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "engine-telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(tel)
+		fmt.Println()
+		records = append(records, benchRecord{
+			Experiment: "engine-telemetry",
+			Seed:       *seed,
+			Quick:      *quick,
+			Workers:    pool.Workers,
+			ElapsedMs:  float64(time.Since(start).Microseconds()) / 1000,
+			Result:     tel,
+		})
+		if *metricsOut != "" {
+			if err := writeMetrics(*metricsOut, tel.Registry); err != nil {
+				fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *traceOut != "" {
+			if err := writeTrace(*traceOut, tel.Traces); err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
 	if *benchjson != "" {
 		if err := writeJSON(*benchjson, records); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
 	}
+}
+
+func writeMetrics(path string, reg *telemetry.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeTrace(path string, traces []telemetry.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteChromeTrace(f, traces); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeJSON(path string, records []benchRecord) error {

@@ -19,6 +19,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/policy"
 	"repro/internal/smbm"
+	"repro/internal/telemetry"
 )
 
 // FilterModule is an instantiated Thanos filter module.
@@ -28,6 +29,13 @@ type FilterModule struct {
 	compiled *policy.Compiled
 	params   pipeline.Params
 	outs     []*bitvec.Vector // reusable output slice for Process
+
+	// Telemetry, all nil/zero unless AttachTelemetry was called. latCycles
+	// caches pipe.Latency() so the per-decision histogram observation does
+	// not re-walk the stage list.
+	stats     *telemetry.DecideStats
+	tracer    *telemetry.Tracer
+	latCycles uint64
 }
 
 // Config configures a filter module.
@@ -98,17 +106,53 @@ func (m *FilterModule) Process() ([]*bitvec.Vector, error) {
 //
 //thanos:hotpath
 func (m *FilterModule) Decide(out int) (id int, ok bool) {
+	tr := m.tracer.Sample()
+	if tr != nil {
+		m.pipe.SetTrace(tr)
+	}
 	outs, err := m.Process()
+	if tr != nil {
+		m.pipe.SetTrace(nil)
+	}
 	if err != nil {
 		// Exec on a validated pipeline cannot fail; surface loudly.
 		panic("core: " + err.Error())
 	}
 	res := policy.Resolve(m.compiled.Policy, outs, out)
+	if ds := m.stats; ds != nil {
+		ds.Decisions.Inc()
+		ds.LatencyCycles.Observe(m.latCycles)
+	}
 	if !res.Any() {
+		if ds := m.stats; ds != nil {
+			ds.Empty.Inc()
+		}
+		tr.Finish(out, -1, false)
 		return 0, false
 	}
-	return res.FirstSet(), true
+	id = res.FirstSet()
+	tr.Finish(out, id, true)
+	return id, true
 }
+
+// StageLabels exposes the pipeline's per-stage telemetry labels so callers
+// can register matching chain telemetry.
+func (m *FilterModule) StageLabels() []string { return m.pipe.StageLabels() }
+
+// AttachTelemetry wires decision counters (latency histogram, empty-result
+// count), per-stage pipeline selectivity and an optional sampled tracer
+// into the module. Any argument may be nil to leave that aspect
+// uninstrumented.
+func (m *FilterModule) AttachTelemetry(cs *telemetry.ChainStats, ds *telemetry.DecideStats, tracer *telemetry.Tracer) {
+	m.pipe.AttachTelemetry(cs)
+	m.stats = ds
+	m.tracer = tracer
+	m.latCycles = m.pipe.Latency()
+}
+
+// TraceSnapshot returns the sampled decision traces. The module is
+// single-threaded, so callers snapshot between Decide calls.
+func (m *FilterModule) TraceSnapshot() []telemetry.Trace { return m.tracer.Snapshot() }
 
 // LatencyCycles returns the module's deterministic per-packet latency in
 // clock cycles.

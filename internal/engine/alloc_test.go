@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/policy"
+	"repro/internal/telemetry"
 )
 
 // This file is the dynamic counterpart of the hotpathalloc analyzer: the
@@ -56,5 +57,47 @@ func TestCoreDecideZeroAlloc(t *testing.T) {
 		}
 	}); n != 0 {
 		t.Fatalf("core Decide allocates %.1f times per call in steady state; want 0", n)
+	}
+}
+
+// TestCoreDecideZeroAllocWithTelemetry re-pins the hardware-faithful path
+// with the full instrument set attached — per-stage chain stats, decision
+// counters + latency histogram, and a tracer sampling every decision. The
+// telemetry acceptance criterion: observability may not cost the hot path
+// a single heap allocation.
+func TestCoreDecideZeroAllocWithTelemetry(t *testing.T) {
+	m, err := core.New(core.Config{
+		Capacity: 32,
+		Schema:   testSchema,
+		Policy:   policy.MustParse(minPolicySrc),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	cs := telemetry.NewChainStats(reg, "thanos_core_chain", m.StageLabels(), 1)
+	ds := telemetry.NewDecideStats(reg, "thanos_core", 1)
+	m.AttachTelemetry(cs[0], ds[0], telemetry.NewTracer(1, 16, 0))
+	for id := 0; id < 16; id++ {
+		if err := m.Table().Add(id, []int64{int64(90 - id), int64(id * 100), 5000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		m.Decide(0)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		id, ok := m.Decide(0)
+		if ok {
+			allocSink = id
+		}
+	}); n != 0 {
+		t.Fatalf("instrumented core Decide allocates %.1f times per call; want 0", n)
+	}
+	if got := ds[0].Decisions.Value(); got == 0 {
+		t.Error("decision counter did not advance")
+	}
+	if len(m.TraceSnapshot()) == 0 {
+		t.Error("tracer sampled no decisions at every-decision cadence")
 	}
 }

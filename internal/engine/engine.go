@@ -32,13 +32,18 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/policy"
 	"repro/internal/smbm"
+	"repro/internal/telemetry"
 )
 
 // DefaultChunkSize is the number of packets per ring-buffer work descriptor:
@@ -81,7 +86,27 @@ type Config struct {
 	// ChunkSize is the number of packets per work descriptor;
 	// 0 selects DefaultChunkSize.
 	ChunkSize int
+	// Telemetry, when non-nil, registers the engine's metrics — per-shard
+	// decision counts, chain selectivity, table op counts, batch-size and
+	// ring-occupancy histograms, epoch swap/staleness counters — under this
+	// registry and enables a per-shard sampled decision tracer. All handles
+	// are created here, at construction; the decision path stays free of
+	// allocation and locking whether or not telemetry is attached.
+	Telemetry *telemetry.Registry
+	// TraceEvery samples one decision in every TraceEvery per shard;
+	// 0 selects DefaultTraceEvery. Ignored without Telemetry.
+	TraceEvery int
+	// TraceCapacity is each shard's trace ring size; 0 selects
+	// DefaultTraceCapacity. Ignored without Telemetry.
+	TraceCapacity int
 }
+
+// DefaultTraceEvery is the default per-shard decision sampling period of
+// the provenance tracer.
+const DefaultTraceEvery = 1024
+
+// DefaultTraceCapacity is the default per-shard trace ring size.
+const DefaultTraceCapacity = 256
 
 // snapshot is one complete replica: an SMBM plus an interpreter bound to it.
 // A snapshot is only ever executed by its shard's reader goroutine and only
@@ -119,6 +144,14 @@ type shard struct {
 	// partitioned; guarded by Engine.pmu and reused across batches so the
 	// steady-state producer path does not allocate.
 	pidx []int32
+
+	// Telemetry handles, nil unless Config.Telemetry was set. decCtr and
+	// emptyCtr are this shard's padded slots of the engine-wide sharded
+	// counters; tracer is this shard's provenance tracer. Only the shard's
+	// reader goroutine touches them on the hot path.
+	decCtr   *telemetry.Counter
+	emptyCtr *telemetry.Counter
+	tracer   *telemetry.Tracer
 }
 
 // Engine is a concurrent sharded decision engine. Decisions (DecideBatch,
@@ -146,6 +179,15 @@ type Engine struct {
 	wmu sync.Mutex
 
 	running sync.WaitGroup // shard goroutines, for Close
+
+	// Telemetry, nil unless Config.Telemetry was set. batchHist/ringHist
+	// are observed on the (pmu-serialized) producer path; swaps/waitSpins
+	// on the (wmu-serialized) write path.
+	reg       *telemetry.Registry
+	batchHist *telemetry.Histogram // DecideBatch sizes
+	ringHist  *telemetry.Histogram // ring occupancy at each chunk push
+	swaps     *telemetry.Counter   // active-snapshot publishes (one per shard per write)
+	waitSpins *telemetry.Counter   // writer spins on a reader-pinned retired snapshot (staleness)
 }
 
 // New builds the engine: per shard, two complete table+interpreter replicas
@@ -185,10 +227,87 @@ func New(cfg Config) (*Engine, error) {
 		}
 		s.active.Store(s.states[0])
 		e.shards = append(e.shards, s)
+	}
+	if cfg.Telemetry != nil {
+		e.setupTelemetry(cfg, n)
+	}
+	for i, s := range e.shards {
 		e.running.Add(1)
-		go s.run(&e.running)
+		go func(i int, s *shard) {
+			// Label the shard goroutine so CPU profiles break down by
+			// pipeline replica.
+			pprof.Do(context.Background(), pprof.Labels("thanos_shard", strconv.Itoa(i)), func(context.Context) {
+				s.run(&e.running)
+			})
+		}(i, s)
 	}
 	return e, nil
+}
+
+// setupTelemetry registers the engine's metric set under cfg.Telemetry and
+// hands each shard its padded counter slots, chain/table stats and tracer.
+// Runs once, before the shard goroutines start, so no synchronization with
+// readers is needed.
+func (e *Engine) setupTelemetry(cfg Config, n int) {
+	reg := cfg.Telemetry
+	e.reg = reg
+	labels := e.shards[0].states[0].interp.StepLabels()
+	chains := telemetry.NewChainStats(reg, "thanos_engine_chain", labels, n)
+	tables := telemetry.NewTableStats(reg, "thanos_engine_table", n)
+	dec := reg.NewShardedCounter("thanos_engine_decisions_total", "decisions executed across all shards", n)
+	empty := reg.NewShardedCounter("thanos_engine_empty_decisions_total", "decisions whose final candidate set was empty", n)
+	e.batchHist = reg.NewHistogram("thanos_engine_batch_size", "DecideBatch request sizes in packets")
+	e.ringHist = reg.NewHistogram("thanos_engine_ring_occupancy", "SPSC ring depth observed at each chunk enqueue")
+	e.swaps = reg.NewCounter("thanos_engine_epoch_swaps_total", "active-snapshot publishes (one per shard per table write)")
+	e.waitSpins = reg.NewCounter("thanos_engine_epoch_wait_spins_total", "writer spins waiting for a reader to drain a retired snapshot")
+	reg.NewGaugeFunc("thanos_engine_shards", "pipeline replicas", func() int64 { return int64(n) })
+	// thanos_engine_table_size (the TableStats gauge above) tracks the
+	// replica size as the readers apply writes; this one asks the
+	// authoritative replica directly at scrape time.
+	reg.NewGaugeFunc("thanos_engine_resources", "resources in the authoritative replica at scrape time", func() int64 { return int64(e.Size()) })
+	every := cfg.TraceEvery
+	if every <= 0 {
+		every = DefaultTraceEvery
+	}
+	capacity := cfg.TraceCapacity
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	for i, s := range e.shards {
+		s.decCtr = dec.Shard(i)
+		s.emptyCtr = empty.Shard(i)
+		s.tracer = telemetry.NewTracer(every, capacity, i)
+		// Both snapshots of a shard run on the same reader goroutine (never
+		// concurrently), so they can share the shard's handles.
+		for _, st := range s.states {
+			st.interp.AttachTelemetry(chains[i])
+			st.table.AttachTelemetry(tables[i])
+		}
+	}
+}
+
+// Telemetry returns the registry the engine was configured with, or nil.
+func (e *Engine) Telemetry() *telemetry.Registry { return e.reg }
+
+// TraceSnapshot returns the sampled decision traces of every shard, merged
+// in ascending (Seq, Shard) order. It briefly takes the producer lock:
+// since every batch completes before DecideBatch releases that lock,
+// holding it guarantees no shard is mid-decision, which is the tracers'
+// snapshot precondition.
+func (e *Engine) TraceSnapshot() []telemetry.Trace {
+	e.pmu.Lock()
+	defer e.pmu.Unlock()
+	var out []telemetry.Trace
+	for _, s := range e.shards {
+		out = append(out, s.tracer.Snapshot()...)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Seq != out[b].Seq {
+			return out[a].Seq < out[b].Seq
+		}
+		return out[a].Shard < out[b].Shard
+	})
+	return out
 }
 
 // Shards returns the number of pipeline replicas.
@@ -281,6 +400,7 @@ func (e *Engine) decideBatchLocked(pkts []Packet) {
 	for _, s := range e.shards {
 		chunks += (len(s.pidx) + e.chunk - 1) / e.chunk
 	}
+	e.batchHist.Observe(uint64(len(pkts)))
 	e.wg.Add(chunks)
 	for _, s := range e.shards {
 		for off := 0; off < len(s.pidx); off += e.chunk {
@@ -288,6 +408,9 @@ func (e *Engine) decideBatchLocked(pkts []Packet) {
 			if end > len(s.pidx) {
 				end = len(s.pidx)
 			}
+			// Ring occupancy sampled producer-side at every enqueue: a
+			// persistently deep ring means the consumer is the bottleneck.
+			e.ringHist.Observe(uint64(s.tail.Load() - s.head.Load()))
 			s.push(work{pkts: pkts, idx: s.pidx[off:end], wg: &e.wg})
 		}
 	}
@@ -378,11 +501,18 @@ func (s *shard) process(w work) {
 	}
 	for _, i := range w.idx {
 		p := &w.pkts[i]
-		outs := st.interp.Exec()
+		tr := s.tracer.Sample()
+		outs := st.interp.ExecTraced(tr)
 		res := policy.Resolve(s.pol, outs, p.Out)
 		p.ID = res.FirstSet()
 		p.OK = p.ID >= 0
+		s.decCtr.Inc()
+		if !p.OK {
+			s.emptyCtr.Inc()
+		}
+		tr.Finish(p.Out, p.ID, p.OK)
 	}
+	st.interp.FlushStats() // one atomic publish per chunk, not per decision
 	s.inUse.Store(nil)
 	w.wg.Done()
 }
@@ -437,7 +567,9 @@ func (e *Engine) apply(op func(*smbm.SMBM) error) error {
 			panic("engine: replica divergence: " + err.Error())
 		}
 		s.active.Store(shadow)
+		e.swaps.Inc()
 		for s.inUse.Load() == act {
+			e.waitSpins.Inc() // staleness: the retired epoch is still pinned
 			runtime.Gosched() // reader still draining the old epoch
 		}
 		if err := op(act.table); err != nil {

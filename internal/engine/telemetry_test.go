@@ -1,0 +1,250 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/telemetry"
+)
+
+func newTelemetryEngine(t testing.TB, shards int, src string, reg *telemetry.Registry, traceEvery int) *Engine {
+	t.Helper()
+	e, err := New(Config{
+		Shards:     shards,
+		Capacity:   64,
+		Schema:     testSchema,
+		Policy:     policy.MustParse(src),
+		Telemetry:  reg,
+		TraceEvery: traceEvery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+func snapCounter(t *testing.T, snap map[string]any, name string) uint64 {
+	t.Helper()
+	v, ok := snap[name]
+	if !ok {
+		t.Fatalf("snapshot missing %q (have %d metrics)", name, len(snap))
+	}
+	c, ok := v.(uint64)
+	if !ok {
+		t.Fatalf("snapshot[%q] is %T, want uint64", name, v)
+	}
+	return c
+}
+
+// TestEngineTelemetryCounters checks that the engine's metric set adds up:
+// decision counts match the packets pushed through, every chain step is
+// invoked once per decision (selectivity provenance), the batch-size
+// histogram saw every batch, and the table counters reflect the 2x-replica
+// write amplification of the per-shard double snapshot.
+func TestEngineTelemetryCounters(t *testing.T) {
+	const (
+		shards  = 2
+		writes  = 32
+		batch   = 128
+		batches = 5
+	)
+	reg := telemetry.NewRegistry()
+	e := newTelemetryEngine(t, shards, testPolicySrc, reg, 64)
+	fillRandom(t, e, writes, 11)
+
+	pkts := make([]Packet, batch)
+	for i := range pkts {
+		pkts[i] = Packet{Key: uint64(i) * 0x9E3779B97F4A7C15}
+	}
+	for i := 0; i < batches; i++ {
+		e.DecideBatch(pkts)
+	}
+
+	snap := reg.Snapshot()
+	decisions := uint64(batch * batches)
+	if got := snapCounter(t, snap, "thanos_engine_decisions_total"); got != decisions {
+		t.Errorf("decisions_total = %d, want %d", got, decisions)
+	}
+	// Every decision executes the full chain, so each step's invocation
+	// count equals the decision count; candidate counts shrink (or hold)
+	// monotonically through the intersect chain only in expectation, but
+	// step 0 (the table view) always yields the full table.
+	labels := e.shards[0].states[0].interp.StepLabels()
+	var prevCand uint64
+	for i := range labels {
+		name := "thanos_engine_chain_step" + string(rune('0'+i)) + "_invocations_total"
+		if got := snapCounter(t, snap, name); got != decisions {
+			t.Errorf("%s = %d, want %d", name, got, decisions)
+		}
+		cand := snapCounter(t, snap, "thanos_engine_chain_step"+string(rune('0'+i))+"_candidates_total")
+		if i == 0 {
+			if want := decisions * writes; cand != want {
+				t.Errorf("step0 candidates = %d, want %d (full table per decision)", cand, want)
+			}
+			prevCand = cand
+		}
+		_ = prevCand
+	}
+	// Each table write lands on both snapshots of every shard.
+	if got := snapCounter(t, snap, "thanos_engine_table_adds_total"); got != uint64(writes*2*shards) {
+		t.Errorf("table_adds_total = %d, want %d", got, writes*2*shards)
+	}
+	bh, ok := snap["thanos_engine_batch_size"].(telemetry.HistogramSnapshot)
+	if !ok {
+		t.Fatalf("batch_size snapshot is %T", snap["thanos_engine_batch_size"])
+	}
+	if bh.Count != batches {
+		t.Errorf("batch_size histogram count = %d, want %d", bh.Count, batches)
+	}
+	if bh.Sum != decisions {
+		t.Errorf("batch_size histogram sum = %d, want %d", bh.Sum, decisions)
+	}
+	if got := snapCounter(t, snap, "thanos_engine_epoch_swaps_total"); got != uint64(writes*shards) {
+		t.Errorf("epoch_swaps_total = %d, want %d (one publish per shard per write)", got, writes*shards)
+	}
+	if e.Telemetry() != reg {
+		t.Error("Telemetry() did not return the configured registry")
+	}
+}
+
+// TestEngineDecideBatchZeroAllocWithTelemetry is the acceptance criterion
+// for the telemetry layer: the fully instrumented batched path — counters,
+// histograms, and a tracer sampling EVERY decision — still performs zero
+// steady-state heap allocations.
+func TestEngineDecideBatchZeroAllocWithTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := newTelemetryEngine(t, 4, testPolicySrc, reg, 1)
+	fillRandom(t, e, 64, 17)
+
+	pkts := make([]Packet, 256)
+	for i := range pkts {
+		pkts[i] = Packet{Key: uint64(i) * 0x9E3779B97F4A7C15, Out: i % 2}
+	}
+	e.DecideBatch(pkts) // warm up ring scratch and index buffers
+
+	allocs := testing.AllocsPerRun(100, func() {
+		e.DecideBatch(pkts)
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented DecideBatch allocates %.1f times per batch, want 0", allocs)
+	}
+}
+
+// TestEngineChromeTraceExport drives sampled decisions through the engine
+// and checks the merged trace exports as well-formed Chrome trace_event
+// JSON and as the flat trace JSON.
+func TestEngineChromeTraceExport(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := newTelemetryEngine(t, 2, testPolicySrc, reg, 8)
+	fillRandom(t, e, 32, 3)
+	pkts := make([]Packet, 64)
+	for i := range pkts {
+		pkts[i] = Packet{Key: uint64(i)}
+	}
+	for i := 0; i < 4; i++ {
+		e.DecideBatch(pkts)
+	}
+	traces := e.TraceSnapshot()
+	if len(traces) == 0 {
+		t.Fatal("no traces sampled")
+	}
+	for i := 1; i < len(traces); i++ {
+		a, b := traces[i-1], traces[i]
+		if a.Seq > b.Seq || (a.Seq == b.Seq && a.Shard > b.Shard) {
+			t.Fatalf("traces not sorted: %d:(%d,%d) before %d:(%d,%d)",
+				i-1, a.Seq, a.Shard, i, b.Seq, b.Shard)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&buf, traces); err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Dur  uint64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &chrome); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+	for _, ev := range chrome.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %q has phase %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Dur == 0 {
+			t.Fatalf("event %q has zero duration", ev.Name)
+		}
+	}
+
+	buf.Reset()
+	if err := telemetry.WriteTraceJSON(&buf, traces); err != nil {
+		t.Fatal(err)
+	}
+	var flat []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &flat); err != nil {
+		t.Fatalf("trace JSON decode: %v", err)
+	}
+	if len(flat) != len(traces) {
+		t.Fatalf("trace JSON has %d entries, want %d", len(flat), len(traces))
+	}
+}
+
+// TestTelemetryOverheadSmoke is the CI overhead gate: enabled with
+// THANOS_OVERHEAD_SMOKE=1, it re-verifies the instrumented zero-alloc
+// contract and fails if full telemetry (default trace sampling) costs more
+// than 5% of batched decision throughput. Benchmarks take the best of
+// three runs to shave scheduler noise.
+func TestTelemetryOverheadSmoke(t *testing.T) {
+	if os.Getenv("THANOS_OVERHEAD_SMOKE") != "1" {
+		t.Skip("set THANOS_OVERHEAD_SMOKE=1 to run the overhead gate")
+	}
+	reg := telemetry.NewRegistry()
+	inst := newTelemetryEngine(t, 2, testPolicySrc, reg, 0) // default 1-in-1024 trace sampling
+	fillRandom(t, inst, 64, 17)
+	plain := newTestEngine(t, 2, testPolicySrc)
+	fillRandom(t, plain, 64, 17)
+
+	pkts := make([]Packet, 512)
+	for i := range pkts {
+		pkts[i] = Packet{Key: uint64(i) * 0x9E3779B97F4A7C15}
+	}
+	inst.DecideBatch(pkts)
+	plain.DecideBatch(pkts)
+
+	if allocs := testing.AllocsPerRun(50, func() { inst.DecideBatch(pkts) }); allocs != 0 {
+		t.Fatalf("instrumented DecideBatch allocates %.1f times per batch, want 0", allocs)
+	}
+
+	bestNs := func(e *Engine) float64 {
+		best := 0.0
+		for i := 0; i < 3; i++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				for n := 0; n < b.N; n++ {
+					e.DecideBatch(pkts)
+				}
+			})
+			ns := float64(r.NsPerOp())
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+	instNs := bestNs(inst)
+	plainNs := bestNs(plain)
+	overhead := instNs/plainNs - 1
+	t.Logf("plain %.0f ns/batch, instrumented %.0f ns/batch, overhead %.2f%%", plainNs, instNs, overhead*100)
+	if overhead > 0.05 {
+		t.Fatalf("telemetry overhead %.2f%% exceeds the 5%% budget", overhead*100)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/lb"
 	"repro/internal/policy"
+	"repro/internal/telemetry"
 )
 
 // EngineSweepPoint is one shard count's measured throughput in the
@@ -92,12 +93,14 @@ func sweepPackets(batch int) []engine.Packet {
 	return pkts
 }
 
-func newSweepEngine(shards, tableSize int, seed int64) (*engine.Engine, error) {
+func newSweepEngine(shards, tableSize int, seed int64, reg *telemetry.Registry) (*engine.Engine, error) {
 	e, err := engine.New(engine.Config{
-		Shards:   shards,
-		Capacity: tableSize,
-		Schema:   lb.Schema,
-		Policy:   enginePolicy(),
+		Shards:     shards,
+		Capacity:   tableSize,
+		Schema:     lb.Schema,
+		Policy:     enginePolicy(),
+		Telemetry:  reg,
+		TraceEvery: 512,
 	})
 	if err != nil {
 		return nil, err
@@ -114,15 +117,22 @@ func newSweepEngine(shards, tableSize int, seed int64) (*engine.Engine, error) {
 }
 
 // measureEnginePoint times one sweep configuration.
-//
-//thanos:wallclock throughput measurement: this harness reports real decisions/sec of the host, which is inherently wall-clock; simulated results use hw.Clock cycles instead
 func measureEnginePoint(shards, batch, tableSize, batches int, seed int64) (EngineSweepPoint, error) {
 	pt := EngineSweepPoint{Shards: shards, Batch: batch, TableSize: tableSize, Batches: batches}
-	e, err := newSweepEngine(shards, tableSize, seed)
+	e, err := newSweepEngine(shards, tableSize, seed, nil)
 	if err != nil {
 		return pt, err
 	}
 	defer e.Close()
+	timeEnginePoint(e, &pt, batch, batches)
+	return pt, nil
+}
+
+// timeEnginePoint drives batches through the engine and fills in the
+// point's throughput numbers.
+//
+//thanos:wallclock throughput measurement: this harness reports real decisions/sec of the host, which is inherently wall-clock; simulated results use hw.Clock cycles instead
+func timeEnginePoint(e *engine.Engine, pt *EngineSweepPoint, batch, batches int) {
 	pkts := sweepPackets(batch)
 	e.DecideBatch(pkts) // warm up scratch buffers
 	start := time.Now()
@@ -133,5 +143,48 @@ func measureEnginePoint(shards, batch, tableSize, batches int, seed int64) (Engi
 	decisions := float64(batch) * float64(batches)
 	pt.DecisionsPerSec = decisions / elapsed.Seconds()
 	pt.NsPerDecision = float64(elapsed.Nanoseconds()) / decisions
-	return pt, nil
+}
+
+// EngineTelemetry is one instrumented engine run: the measured throughput
+// point plus the telemetry it produced — the full metric snapshot (per-stage
+// selectivity, ring occupancy and batch-size histograms, epoch swaps) and
+// the sampled decision traces. The registry is retained so callers can also
+// export Prometheus text or Chrome traces.
+type EngineTelemetry struct {
+	Point    EngineSweepPoint    `json:"point"`
+	Snapshot map[string]any      `json:"snapshot"`
+	Traces   []telemetry.Trace   `json:"traces"`
+	Registry *telemetry.Registry `json:"-"`
+}
+
+func (t EngineTelemetry) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Instrumented engine run (shards=%d batch=%d) ==\n",
+		t.Point.Shards, t.Point.Batch)
+	fmt.Fprintf(&b, "%.2fM decisions/s  %.0f ns/decision  %d metrics  %d sampled traces\n",
+		t.Point.DecisionsPerSec/1e6, t.Point.NsPerDecision, len(t.Snapshot), len(t.Traces))
+	return b.String()
+}
+
+// EngineTelemetryPoint runs one engine sweep configuration with telemetry
+// enabled (trace sampling every 512 decisions per shard) and returns the
+// measurement together with the metric snapshot and decision traces.
+func EngineTelemetryPoint(shards, batch, tableSize, batches int, seed int64) (EngineTelemetry, error) {
+	res := EngineTelemetry{}
+	if shards <= 0 || batch <= 0 || tableSize <= 0 || batches <= 0 {
+		return res, fmt.Errorf("experiments: non-positive engine telemetry parameter")
+	}
+	reg := telemetry.NewRegistry()
+	e, err := newSweepEngine(shards, tableSize, seed, reg)
+	if err != nil {
+		return res, err
+	}
+	defer e.Close()
+	pt := EngineSweepPoint{Shards: shards, Batch: batch, TableSize: tableSize, Batches: batches, Speedup: 1}
+	timeEnginePoint(e, &pt, batch, batches)
+	res.Point = pt
+	res.Traces = e.TraceSnapshot()
+	res.Snapshot = reg.Snapshot()
+	res.Registry = reg
+	return res, nil
 }

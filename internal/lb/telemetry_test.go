@@ -1,0 +1,74 @@
+package lb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestBalancerTelemetry checks the placement counters and per-backend
+// decision gauges: fresh placements, affinity hits, and failures each land
+// in their own counter, and the registry scrape reflects the Decisions map.
+func TestBalancerTelemetry(t *testing.T) {
+	b, err := NewBalancer(4, 16, PolicyRandom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	b.RegisterTelemetry(reg, "thanos_lb", 4)
+
+	// A placement over an empty resource table fails.
+	if _, err := b.Place(7); err == nil {
+		t.Fatal("placement with no servers should fail")
+	}
+	for s := 0; s < 4; s++ {
+		if err := b.HandleProbe(MakeProbe(s, 50, 2048, 4000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One fresh placement, then nine affinity hits on the same connection.
+	if _, err := b.Place(42); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if _, err := b.Place(42); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got := b.tel.Placements.Value(); got != 1 {
+		t.Errorf("placements = %d, want 1", got)
+	}
+	if got := b.tel.AffinityHits.Value(); got != 9 {
+		t.Errorf("affinity hits = %d, want 9", got)
+	}
+	if got := b.tel.Failures.Value(); got != 1 {
+		t.Errorf("failures = %d, want 1", got)
+	}
+
+	var total int64
+	snap := reg.Snapshot()
+	for s := 0; s < 4; s++ {
+		name := "thanos_lb_backend" + string(rune('0'+s)) + "_decisions"
+		v, ok := snap[name].(int64)
+		if !ok {
+			t.Fatalf("snapshot[%q] is %T, want int64", name, snap[name])
+		}
+		total += v
+	}
+	if total != 1 {
+		t.Errorf("per-backend decision gauges sum to %d, want 1", total)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"thanos_lb_placements_total 1", "thanos_lb_affinity_hits_total 9", "thanos_lb_failures_total 1"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+}

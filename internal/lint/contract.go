@@ -52,5 +52,19 @@ func DefaultConfig() Config {
 				"inUse": {"process"},
 			},
 		},
+		Telemetry: TelemetryConfig{
+			Pkg: "repro/internal/telemetry",
+			// The hot-safe instrument API: single atomic read-modify-write
+			// operations (plus Tracer.Sample's ring-slot claim), audited
+			// lock-free and proven allocation-free by the AllocsPerRun tests
+			// in internal/telemetry.
+			HotSafe: []string{
+				"(*Counter).Inc", "(*Counter).Add",
+				"(*Gauge).Set", "(*Gauge).Add",
+				"(*Histogram).Observe",
+				"(*Tracer).Sample",
+				"(*Trace).AddStage", "(*Trace).Finish",
+			},
+		},
 	}
 }

@@ -5,7 +5,7 @@
 // (§5.1), and the switch decides one packet per clock — and the software
 // rendering of those guarantees ("zero allocations and no wall-clock or
 // global-rand nondeterminism on the decision path", "snapshot state is only
-// mutated behind an epoch publish") is enforced at build time by four
+// mutated behind an epoch publish") is enforced at build time by five
 // analyzers:
 //
 //   - hotpathalloc:    no allocating constructs on //thanos:hotpath call graphs
@@ -15,6 +15,8 @@
 //     (internal/lint/contract.go is the single source of truth)
 //   - snapshotsafety:  engine snapshot state mutates only behind the epoch
 //     publish protocol; sync primitives are never copied by value
+//   - telemetrysafety: telemetry reachable from //thanos:hotpath roots is
+//     lock-free and restricted to the hot-safe instrument API
 //
 // The suite is built directly on go/ast and go/types (no external analysis
 // framework) so it runs offline with nothing but the Go toolchain; the
@@ -67,7 +69,7 @@ type Analyzer struct {
 }
 
 // All is the full thanoslint suite in reporting order.
-var All = []*Analyzer{HotPathAlloc, Determinism, LatencyContract, SnapshotSafety}
+var All = []*Analyzer{HotPathAlloc, Determinism, LatencyContract, SnapshotSafety, TelemetrySafety}
 
 // Unit is the analysis scope handed to every analyzer: the loaded packages
 // plus configuration. Analyzers report through Reportf.
@@ -129,6 +131,8 @@ type Config struct {
 	Contract []LatencyConst
 	// Snapshot configures the snapshotsafety analyzer.
 	Snapshot SnapshotConfig
+	// Telemetry configures the telemetrysafety analyzer.
+	Telemetry TelemetryConfig
 }
 
 // SnapshotConfig scopes the snapshotsafety analyzer.

@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TelemetrySafety enforces the telemetry layer's hot-path contract. The
+// telemetry package promises that instrumentation on the per-packet
+// decision path is lock-free and confined to a small audited API; this
+// analyzer proves both halves over every //thanos:hotpath call graph:
+//
+//  1. Entry discipline: a call from hot non-telemetry code into the
+//     telemetry package must target a function on the HotSafe allowlist
+//     (Counter.Inc, Histogram.Observe, Tracer.Sample, ...). Anything else
+//     — registration, export, snapshotting — is control-plane API and must
+//     not appear on the decision path.
+//  2. Lock freedom: telemetry-package functions reachable from a hot root
+//     may not acquire sync primitives (Mutex/RWMutex Lock family,
+//     WaitGroup.Wait, Once.Do, Cond waits) or perform channel operations.
+//
+// The lock rule is deliberately scoped to the telemetry package: the
+// engine's own hot entry points serialize producers with a mutex by
+// design, which is their contract to keep — but an instrument must never
+// add blocking to a path that was lock-free without it.
+//
+// hotpathalloc independently bans allocation on the same graphs, so
+// between the two analyzers a telemetry increment is proven both
+// allocation- and lock-free, statically.
+var TelemetrySafety = &Analyzer{
+	Name: "telemetrysafety",
+	Doc:  "telemetry calls on //thanos:hotpath graphs are lock-free and restricted to the hot-safe API",
+	Run:  runTelemetrySafety,
+}
+
+// TelemetryConfig scopes the telemetrysafety analyzer.
+type TelemetryConfig struct {
+	// Pkg is the import path (prefix) of the telemetry package.
+	Pkg string
+	// HotSafe lists the telemetry functions hot code may call, by declared
+	// name (e.g. "(*Counter).Inc").
+	HotSafe []string
+}
+
+func runTelemetrySafety(u *Unit) error {
+	cfg := u.Config.Telemetry
+	if cfg.Pkg == "" {
+		return nil
+	}
+	hotSafe := map[string]bool{}
+	for _, n := range cfg.HotSafe {
+		hotSafe[n] = true
+	}
+
+	// Index every function in the unit and collect hot roots and cold
+	// stops, exactly like hotpathalloc.
+	index := map[*types.Func]funcInfo{}
+	cold := map[*types.Func]bool{}
+	type hotRoot struct {
+		fn   *types.Func
+		name string
+	}
+	var roots []hotRoot
+	for _, pkg := range u.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				index[obj] = funcInfo{decl: fd, pkg: pkg}
+				if marked, _ := hasMark(fd.Doc, MarkHotPath); marked {
+					roots = append(roots, hotRoot{fn: obj, name: pkg.Types.Name() + "." + funcDeclName(fd)})
+				}
+				if marked, _ := hasMark(fd.Doc, MarkColdPath); marked {
+					cold[obj] = true
+				}
+			}
+		}
+	}
+
+	inTelemetry := func(path string) bool {
+		return pathMatchesAny(path, []string{cfg.Pkg})
+	}
+
+	checked := map[*types.Func]bool{}
+	var visit func(fn *types.Func, root string)
+	visit = func(fn *types.Func, root string) {
+		if checked[fn] || cold[fn] {
+			return
+		}
+		info, ok := index[fn]
+		if !ok {
+			return // outside the module: not traversed
+		}
+		checked[fn] = true
+		c := &telemetryChecker{
+			u:       u,
+			pkg:     info.pkg,
+			root:    root,
+			inTel:   inTelemetry(info.pkg.Path),
+			isTel:   inTelemetry,
+			hotSafe: hotSafe,
+		}
+		c.walk(info.decl.Body)
+		for _, callee := range c.callees {
+			visit(callee, root)
+		}
+	}
+	for _, r := range roots {
+		visit(r.fn, r.name)
+	}
+	return nil
+}
+
+// telemetryChecker walks one hot function body. inTel marks whether the
+// function itself lives in the telemetry package (lock-freedom rule);
+// otherwise only its calls into the telemetry package are screened against
+// the allowlist.
+type telemetryChecker struct {
+	u       *Unit
+	pkg     *Package
+	root    string
+	inTel   bool
+	isTel   func(path string) bool
+	hotSafe map[string]bool
+	callees []*types.Func
+}
+
+func (c *telemetryChecker) report(pos token.Pos, format string, args ...any) {
+	c.u.Reportf(pos, format+" (on //thanos:hotpath path from "+c.root+")", args...)
+}
+
+// blockingSyncMethods are the sync methods that park or spin the caller.
+// Unlock/Done are included: their presence implies the matching acquire
+// and has no business inside a lock-free instrument either.
+var blockingSyncMethods = map[string]bool{
+	"Lock": true, "TryLock": true, "RLock": true, "TryRLock": true,
+	"Unlock": true, "RUnlock": true,
+	"Wait": true, "Do": true, "Done": true, "Add": true,
+}
+
+func (c *telemetryChecker) walk(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Closures defined here run who-knows-where; hotpathalloc
+			// already bans capturing closures on hot paths. Skip.
+			return false
+		case *ast.SendStmt:
+			if c.inTel {
+				c.report(n.Pos(), "telemetry hot path performs a channel send: must be lock- and block-free")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && c.inTel {
+				c.report(n.Pos(), "telemetry hot path performs a channel receive: must be lock- and block-free")
+			}
+		case *ast.SelectStmt:
+			if c.inTel {
+				c.report(n.Pos(), "telemetry hot path uses select: must be lock- and block-free")
+			}
+		case *ast.CallExpr:
+			c.call(n)
+		}
+		return true
+	})
+}
+
+func (c *telemetryChecker) call(e *ast.CallExpr) {
+	fn, _ := staticCalleeIn(c.pkg, e)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	if c.inTel && path == "sync" && blockingSyncMethods[fn.Name()] {
+		c.report(e.Pos(), "telemetry hot path calls sync.%s: telemetry must be lock-free on the decision path", fn.Name())
+		return
+	}
+	if c.isTel(path) && !c.inTel {
+		name := funcDisplayName(fn)
+		if !c.hotSafe[name] {
+			c.report(e.Pos(), "call to telemetry function %s is not on the hot-safe allowlist", name)
+		}
+	}
+	// Traverse in-module callees (including into the telemetry package, so
+	// a nominally hot-safe entry that internally blocks is still caught).
+	if c.inModule(path) {
+		c.callees = append(c.callees, fn)
+	}
+}
+
+func (c *telemetryChecker) inModule(path string) bool {
+	for _, p := range c.u.Pkgs {
+		if p.Path == path {
+			return true
+		}
+	}
+	return false
+}
+
+// staticCalleeIn resolves the called *types.Func for direct function and
+// concrete method calls, returning nil (dynamic=true) for interface
+// dispatch and function values. It is the package-level twin of
+// hotChecker.staticCallee, shared by analyzers that walk call graphs.
+func staticCalleeIn(pkg *Package, e *ast.CallExpr) (fn *types.Func, dynamic bool) {
+	switch f := unparen(e.Fun).(type) {
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[f].(type) {
+		case *types.Func:
+			return obj, false
+		case *types.Var:
+			return nil, true // function value
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[f]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				if recv := fn.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+					return nil, true // interface dispatch
+				}
+				return fn, false
+			}
+			return nil, true // func-typed field
+		}
+		// Package-qualified call.
+		if fn, ok := pkg.Info.Uses[f.Sel].(*types.Func); ok {
+			return fn, false
+		}
+	}
+	return nil, false
+}
+
+// funcDisplayName renders a *types.Func the way funcDeclName renders its
+// declaration: "(*Counter).Inc" for pointer methods, "Name" for plain
+// functions.
+func funcDisplayName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	t := sig.Recv().Type()
+	star := ""
+	if p, ok := t.(*types.Pointer); ok {
+		star = "*"
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return "(" + star + named.Obj().Name() + ")." + fn.Name()
+	}
+	return fn.Name()
+}

@@ -1,0 +1,15 @@
+package lint
+
+import "testing"
+
+func TestTelemetrySafety(t *testing.T) {
+	cfg := Config{Telemetry: TelemetryConfig{
+		Pkg: "fixture/telemetrysafety/tel",
+		HotSafe: []string{
+			"(*Counter).Inc",
+			"(*LockedCounter).Inc",
+			"(*ChanCounter).Inc",
+		},
+	}}
+	checkFixture(t, TelemetrySafety, cfg, "fixture/telemetrysafety", "fixture/telemetrysafety/tel")
+}

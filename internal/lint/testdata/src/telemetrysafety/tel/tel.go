@@ -1,0 +1,39 @@
+// Package tel is a miniature telemetry package seeding the violations the
+// telemetrysafety analyzer must catch inside the instrument implementations
+// themselves: lock acquisition and channel operations on paths reachable
+// from a //thanos:hotpath root.
+package tel
+
+import "sync"
+
+// Counter is the clean, hot-safe instrument: a single plain increment.
+type Counter struct{ v uint64 }
+
+func (c *Counter) Inc() { c.v++ }
+
+// LockedCounter is allowlisted as an entry point but blocks internally —
+// the analyzer must flag the lock even though the call site looks hot-safe.
+type LockedCounter struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+func (c *LockedCounter) Inc() {
+	c.mu.Lock() // want `telemetry hot path calls sync.Lock`
+	c.v++
+	c.mu.Unlock() // want `telemetry hot path calls sync.Unlock`
+}
+
+// ChanCounter publishes increments over a channel: a blocking operation.
+type ChanCounter struct{ ch chan uint64 }
+
+func (c *ChanCounter) Inc() {
+	c.ch <- 1 // want `telemetry hot path performs a channel send`
+}
+
+// Sampler is a legitimate instrument that simply is not on the hot-safe
+// allowlist; calling it from hot code is an entry-discipline violation
+// reported at the call site.
+type Sampler struct{ v uint64 }
+
+func (s *Sampler) Observe(v uint64) { s.v += v }

@@ -1,0 +1,44 @@
+// Package telemetrysafety seeds hot-path callers of the tel fixture
+// package: one clean hot-safe call, one allowlisted entry whose body locks
+// (flagged in tel.go), one non-allowlisted entry (flagged here), plus cold
+// and unreachable functions that must stay silent.
+package telemetrysafety
+
+import "fixture/telemetrysafety/tel"
+
+type Mod struct {
+	c  *tel.Counter
+	l  *tel.LockedCounter
+	ch *tel.ChanCounter
+	s  *tel.Sampler
+}
+
+//thanos:hotpath
+func (m *Mod) Decide() int {
+	m.c.Inc()      // clean: allowlisted and lock-free
+	m.l.Inc()      // allowlisted entry; the lock inside is reported in tel.go
+	m.ch.Inc()     // allowlisted entry; the channel send is reported in tel.go
+	m.s.Observe(1) // want `call to telemetry function \(\*Sampler\)\.Observe is not on the hot-safe allowlist`
+	m.cold()
+	return int(m.helper())
+}
+
+// helper is hot by reachability, not by annotation: its calls are screened
+// the same way as the root's.
+func (m *Mod) helper() uint64 {
+	m.s.Observe(2) // want `call to telemetry function \(\*Sampler\)\.Observe is not on the hot-safe allowlist`
+	return 0
+}
+
+// cold stops traversal: its telemetry calls are exempt.
+//
+//thanos:coldpath registration-time setup, never on the decision path
+func (m *Mod) cold() {
+	m.s.Observe(3)
+}
+
+// Unreachable is never called from a hot root: no diagnostics.
+func (m *Mod) Unreachable() {
+	m.l.Inc()
+	m.s.Observe(4)
+}

@@ -1,0 +1,59 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// RegisterTelemetry registers the network's observable state under reg as
+// scrape-time gauge functions: simulated time, flow progress, and the
+// per-switch and aggregate drop/byte counters the load-balancing figures
+// care about. The simulator is single-threaded; gauges read its state at
+// scrape time, so scrape between Run steps or while the simulation is held
+// idle (cmd/netsim's -hold flag exists for exactly that).
+func (n *Network) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	reg.NewGaugeFunc(prefix+"_sim_time_us", "simulated clock in microseconds",
+		func() int64 { return int64(n.Sched.Now() / sim.Microsecond) })
+	reg.NewGaugeFunc(prefix+"_active_flows", "flows currently in flight",
+		func() int64 { return int64(n.ActiveFlows()) })
+	reg.NewGaugeFunc(prefix+"_completed_flows", "flows that have finished",
+		func() int64 { return int64(len(n.Records())) })
+	reg.NewGaugeFunc(prefix+"_drops_total", "packets dropped across all switch ports",
+		func() int64 { return int64(n.totalDrops()) })
+	reg.NewGaugeFunc(prefix+"_sent_bytes_total", "bytes transmitted across all switch ports",
+		func() int64 { return int64(n.totalSentBytes()) })
+	for i := range n.Switches {
+		sw := n.Switches[i]
+		reg.NewGaugeFunc(fmt.Sprintf("%s_switch%d_drops", prefix, sw.ID()),
+			fmt.Sprintf("packets dropped by switch %d", sw.ID()),
+			func() int64 { return int64(switchDrops(sw)) })
+	}
+}
+
+func (n *Network) totalDrops() uint64 {
+	var total uint64
+	for _, sw := range n.Switches {
+		total += switchDrops(sw)
+	}
+	return total
+}
+
+func (n *Network) totalSentBytes() uint64 {
+	var total uint64
+	for _, sw := range n.Switches {
+		for p := 0; p < sw.NumPorts(); p++ {
+			total += sw.Port(p).SentBytes()
+		}
+	}
+	return total
+}
+
+func switchDrops(sw *Switch) uint64 {
+	var total uint64
+	for p := 0; p < sw.NumPorts(); p++ {
+		total += sw.Port(p).Drops()
+	}
+	return total
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/filter"
 	"repro/internal/smbm"
+	"repro/internal/telemetry"
 )
 
 // Interp evaluates a policy by direct AST interpretation against an SMBM,
@@ -28,6 +29,15 @@ type Interp struct {
 	vals   []*bitvec.Vector // vals[i] = result buffer of step i, fixed at build
 	outIdx []int            // per policy output, its producing step index
 	outs   []*bitvec.Vector // reusable result slice handed out by Exec
+	labels []string         // labels[i] = source expression of step i, for telemetry
+	cycles []uint32         // cycles[i] = modeled latency of step i (§5.2)
+	stats  *telemetry.ChainStats
+	// pendInv/pendCand batch per-step counts between FlushStats calls so the
+	// per-decision cost of chain telemetry is plain integer adds, not one
+	// atomic RMW per step. Only the interpreter's owning goroutine touches
+	// them; the shared ChainStats counters absorb the deltas on flush.
+	pendInv  []uint64
+	pendCand []uint64
 }
 
 // interpStep is one instruction of the flattened evaluation program. Table
@@ -76,6 +86,8 @@ func NewInterp(table *smbm.SMBM, schema Schema, p *Policy) (*Interp, error) {
 			// The live membership view is stable across Add/Delete, so the
 			// value slot can be bound once at build time.
 			it.vals = append(it.vals, table.MembersView())
+			it.labels = append(it.labels, n.String())
+			it.cycles = append(it.cycles, 0) // the table view is free (§5.1.4)
 			idx[e] = i
 			return i, nil
 		case *Unary:
@@ -94,6 +106,8 @@ func NewInterp(table *smbm.SMBM, schema Schema, p *Policy) (*Interp, error) {
 			i := len(it.prog)
 			it.prog = append(it.prog, interpStep{kind: stepUnary, unit: u, k: k, a: a})
 			it.vals = append(it.vals, bitvec.New(table.Capacity()))
+			it.labels = append(it.labels, n.String())
+			it.cycles = append(it.cycles, uint32(u.Latency()))
 			idx[e] = i
 			return i, nil
 		case *Binary:
@@ -112,6 +126,8 @@ func NewInterp(table *smbm.SMBM, schema Schema, p *Policy) (*Interp, error) {
 			i := len(it.prog)
 			it.prog = append(it.prog, interpStep{kind: stepBinary, bin: b, a: a, b: bIdx})
 			it.vals = append(it.vals, bitvec.New(table.Capacity()))
+			it.labels = append(it.labels, n.String())
+			it.cycles = append(it.cycles, uint32(filter.BFPUCycles))
 			idx[e] = i
 			return i, nil
 		}
@@ -191,6 +207,53 @@ func AssignSeeds(p *Policy) map[*Unary]uint16 {
 // Policy returns the interpreted policy.
 func (it *Interp) Policy() *Policy { return it.policy }
 
+// StepLabels returns the source expression of every program step, in
+// execution order — the label vocabulary used by chain telemetry and
+// decision traces. The slice is a fresh copy.
+func (it *Interp) StepLabels() []string {
+	return append([]string(nil), it.labels...)
+}
+
+// AttachTelemetry wires per-step invocation and candidate-popcount
+// counters (§5.3 selectivity provenance) into this interpreter. The handle
+// must have exactly one counter pair per program step — typically built as
+// telemetry.NewChainStats(reg, prefix, it.StepLabels(), shards). Pass nil
+// to detach. Panics on a step-count mismatch: that is a wiring bug.
+func (it *Interp) AttachTelemetry(cs *telemetry.ChainStats) {
+	if cs != nil && cs.Steps() != len(it.prog) {
+		panic(fmt.Sprintf("policy: ChainStats has %d steps, interpreter has %d", cs.Steps(), len(it.prog)))
+	}
+	it.stats = cs
+	it.pendInv, it.pendCand = nil, nil
+	if cs != nil {
+		it.pendInv = make([]uint64, len(it.prog))
+		it.pendCand = make([]uint64, len(it.prog))
+	}
+}
+
+// FlushStats publishes the per-step counts accumulated since the last flush
+// into the attached ChainStats. Callers pick the publication granularity:
+// the sharded engine flushes once per work chunk, the single-threaded
+// module once per decision. No-op without attached telemetry.
+//
+//thanos:hotpath
+func (it *Interp) FlushStats() {
+	cs := it.stats
+	if cs == nil {
+		return
+	}
+	for i := range it.pendInv {
+		if n := it.pendInv[i]; n != 0 {
+			cs.Invocations[i].Add(n)
+			it.pendInv[i] = 0
+		}
+		if n := it.pendCand[i]; n != 0 {
+			cs.Candidates[i].Add(n)
+			it.pendCand[i] = 0
+		}
+	}
+}
+
 // Exec evaluates every output against the table's current contents and
 // returns one table (bit vector) per output, in output order. Shared
 // subexpressions are evaluated once per call.
@@ -201,6 +264,20 @@ func (it *Interp) Policy() *Policy { return it.policy }
 //
 //thanos:hotpath
 func (it *Interp) Exec() []*bitvec.Vector {
+	return it.ExecTraced(nil)
+}
+
+// ExecTraced is Exec with provenance: when tr is non-nil the candidate-set
+// popcount after every step is recorded into it, and when chain telemetry
+// is attached each step's invocation count and cumulative popcount are
+// accumulated for the next FlushStats. Both hooks cost one popcount per
+// step plus plain integer adds and are skipped
+// entirely — a single nil check — when disabled, keeping the uninstrumented
+// path byte-for-byte the old Exec.
+//
+//thanos:hotpath
+func (it *Interp) ExecTraced(tr *telemetry.Trace) []*bitvec.Vector {
+	cs := it.stats
 	for i := range it.prog {
 		st := &it.prog[i]
 		switch st.kind {
@@ -208,6 +285,14 @@ func (it *Interp) Exec() []*bitvec.Vector {
 			st.unit.ExecInto(it.vals[i], it.vals[st.a], st.k)
 		case stepBinary:
 			st.bin.ExecInto(it.vals[i], it.vals[st.a], it.vals[st.b])
+		}
+		if cs != nil || tr != nil {
+			pop := it.vals[i].Count()
+			if cs != nil {
+				it.pendInv[i]++
+				it.pendCand[i] += uint64(pop)
+			}
+			tr.AddStage(it.labels[i], pop, uint64(it.cycles[i]))
 		}
 	}
 	for i, si := range it.outIdx {

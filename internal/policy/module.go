@@ -3,6 +3,7 @@ package policy
 import (
 	"repro/internal/bitvec"
 	"repro/internal/smbm"
+	"repro/internal/telemetry"
 )
 
 // Module bundles a Thanos filter module for runtime use: an SMBM resource
@@ -14,6 +15,21 @@ type Module struct {
 	Table  *smbm.SMBM
 	Policy *Policy
 	interp *Interp
+	stats  *telemetry.DecideStats // nil unless AttachTelemetry was called
+	tracer *telemetry.Tracer      // ditto
+}
+
+// StepLabels exposes the interpreter's per-step labels so callers can
+// register matching chain telemetry.
+func (m *Module) StepLabels() []string { return m.interp.StepLabels() }
+
+// AttachTelemetry wires decision counters, per-step chain selectivity and
+// an optional sampled tracer into the module. Any argument may be nil to
+// leave that aspect uninstrumented.
+func (m *Module) AttachTelemetry(cs *telemetry.ChainStats, ds *telemetry.DecideStats, tracer *telemetry.Tracer) {
+	m.interp.AttachTelemetry(cs)
+	m.stats = ds
+	m.tracer = tracer
 }
 
 // NewModule builds a module with capacity resources, the given attribute
@@ -42,13 +58,28 @@ func (m *Module) Remove(id int) error {
 // resource id from output 0 (after fallback resolution). ok is false when
 // even the fallback produced an empty table.
 func (m *Module) Decide() (id int, ok bool) {
-	outs := m.interp.Exec()
+	tr := m.tracer.Sample()
+	outs := m.interp.ExecTraced(tr)
+	m.interp.FlushStats() // single-threaded module: publish per decision
 	res := Resolve(m.Policy, outs, 0)
+	if ds := m.stats; ds != nil {
+		ds.Decisions.Inc()
+	}
 	if !res.Any() {
+		if ds := m.stats; ds != nil {
+			ds.Empty.Inc()
+		}
+		tr.Finish(0, -1, false)
 		return 0, false
 	}
-	return res.FirstSet(), true
+	id = res.FirstSet()
+	tr.Finish(0, id, true)
+	return id, true
 }
+
+// TraceSnapshot returns the sampled decision traces. The module is
+// single-threaded, so callers snapshot between Decide calls.
+func (m *Module) TraceSnapshot() []telemetry.Trace { return m.tracer.Snapshot() }
 
 // Metrics returns a copy of the resource's current metric tuple, or ok=false
 // if the resource is absent.

@@ -1,0 +1,126 @@
+package smbm
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestReplicaGroupBroadcastConcurrentTelemetry exercises broadcast-update
+// mode under the race detector with telemetry attached to every replica:
+// one writer goroutine per pipeline on disjoint id ranges, concurrent
+// metric scrapers (Prometheus export + snapshot) and an InSync poller. It
+// then checks the invariants the instrumentation is supposed to expose —
+// every replica applied every broadcast op, so the per-replica op counters
+// must be identical, and the group must end in sync.
+func TestReplicaGroupBroadcastConcurrentTelemetry(t *testing.T) {
+	const (
+		pipelines = 4
+		perWriter = 16
+		rounds    = 8
+	)
+	g := NewReplicaGroup(pipelines, pipelines*perWriter, 2)
+	g.EnableBroadcast()
+
+	reg := telemetry.NewRegistry()
+	stats := telemetry.NewTableStats(reg, "test_replica", pipelines)
+	for p := 0; p < pipelines; p++ {
+		g.Replica(p).AttachTelemetry(stats[p])
+	}
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+
+	// Scrapers: the whole point of the telemetry layer is that export can
+	// run concurrently with the workload.
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if err := reg.WritePrometheus(io.Discard); err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+				_ = reg.Snapshot()
+			}
+		}()
+	}
+	// InSync poller: broadcast mode promises the invariant holds at every
+	// observable instant.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if !g.InSync() {
+				t.Error("replicas diverged mid-broadcast")
+				return
+			}
+		}
+	}()
+
+	// Writers: one per pipeline, each on its own id range so same-cycle
+	// writes never contend.
+	var writers sync.WaitGroup
+	for p := 0; p < pipelines; p++ {
+		writers.Add(1)
+		go func(p int) {
+			defer writers.Done()
+			base := p * perWriter
+			for i := 0; i < perWriter; i++ {
+				if err := g.Add(p, base+i, []int64{int64(i), int64(p)}); err != nil {
+					t.Errorf("pipeline %d add %d: %v", p, base+i, err)
+					return
+				}
+			}
+			for r := 1; r <= rounds; r++ {
+				for i := 0; i < perWriter; i++ {
+					if err := g.Update(p, base+i, []int64{int64(i + r), int64(p)}); err != nil {
+						t.Errorf("pipeline %d update %d: %v", p, base+i, err)
+						return
+					}
+				}
+			}
+		}(p)
+	}
+	writers.Wait()
+	close(done)
+	wg.Wait()
+
+	if !g.InSync() {
+		t.Fatal("replicas out of sync after broadcast workload")
+	}
+	// Every broadcast op is applied to every replica, so each replica's
+	// counters see the full workload: Update is delete+add (§5.1.2), both
+	// constituents counted.
+	wantAdds := uint64(pipelines * perWriter * (1 + rounds))
+	wantDeletes := uint64(pipelines * perWriter * rounds)
+	wantUpdates := uint64(pipelines * perWriter * rounds)
+	for p := 0; p < pipelines; p++ {
+		st := stats[p]
+		if got := st.Adds.Value(); got != wantAdds {
+			t.Errorf("replica %d adds = %d, want %d", p, got, wantAdds)
+		}
+		if got := st.Deletes.Value(); got != wantDeletes {
+			t.Errorf("replica %d deletes = %d, want %d", p, got, wantDeletes)
+		}
+		if got := st.Updates.Value(); got != wantUpdates {
+			t.Errorf("replica %d updates = %d, want %d", p, got, wantUpdates)
+		}
+	}
+	if got := int(stats[0].Size.Value()); got != pipelines*perWriter {
+		t.Errorf("size gauge = %d, want %d", got, pipelines*perWriter)
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/hw"
+	"repro/internal/telemetry"
 )
 
 // WriteCycles is the latency of an add or delete operation in clock cycles
@@ -64,6 +65,19 @@ type SMBM struct {
 	members *bitvec.Vector // maintained incrementally by Add/Delete
 	spare   [][]int        // metricPos slices recycled from deleted entries
 	clock   hw.Clock
+	tel     *telemetry.TableStats // nil unless AttachTelemetry was called
+}
+
+// AttachTelemetry wires op counters and the size gauge into this table
+// (§5.1 observability: add/delete/update counts, hot-path reads, live
+// size). Pass nil to detach. Reads is incremented on the Value fast path,
+// so the handles must come from a telemetry.Registry — their increments
+// are single atomic adds and keep the read path allocation- and lock-free.
+func (s *SMBM) AttachTelemetry(t *telemetry.TableStats) {
+	s.tel = t
+	if t != nil {
+		t.Size.Set(int64(len(s.ids)))
+	}
 }
 
 // New returns an empty SMBM with capacity n resources and m metric
@@ -165,6 +179,10 @@ func (s *SMBM) Add(id int, metrics []int64) error {
 	s.members.Set(id)
 
 	s.clock.Tick(WriteCycles)
+	if t := s.tel; t != nil {
+		t.Adds.Inc()
+		t.Size.Set(int64(len(s.ids)))
+	}
 	s.assertConsistent("Add")
 	return nil
 }
@@ -205,6 +223,10 @@ func (s *SMBM) Delete(id int) error {
 	s.members.Clear(id)
 
 	s.clock.Tick(WriteCycles)
+	if t := s.tel; t != nil {
+		t.Deletes.Inc()
+		t.Size.Set(int64(len(s.ids)))
+	}
 	s.assertConsistent("Delete")
 	return nil
 }
@@ -221,6 +243,11 @@ func (s *SMBM) Update(id int, metrics []int64) error {
 	if err := s.Add(id, metrics); err != nil {
 		// Cannot happen: we just freed the slot. Surface loudly if it does.
 		panic("smbm: re-add after delete failed: " + err.Error())
+	}
+	// Updates counts the logical operation; the constituent delete+add pair
+	// has already been counted, mirroring the 2×WriteCycles cost model.
+	if t := s.tel; t != nil {
+		t.Updates.Inc()
 	}
 	return nil
 }
@@ -257,6 +284,9 @@ func (s *SMBM) Metrics(id int) (vals []int64, ok bool) {
 // the id is absent. It panics if dim is out of range.
 func (s *SMBM) Value(id, dim int) (val int64, ok bool) {
 	s.checkDim(dim)
+	if t := s.tel; t != nil {
+		t.Reads.Inc()
+	}
 	idPos, ok := s.findID(id)
 	if !ok {
 		return 0, false

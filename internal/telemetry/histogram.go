@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the number of histogram buckets: one per possible bit
+// length of a uint64 (0..64). Bucket i holds observations v with
+// bits.Len64(v) == i, i.e. the power-of-two range [2^(i-1), 2^i).
+const NumBuckets = 65
+
+// Histogram is a fixed power-of-two-bucket histogram. Observe is a single
+// bit-length computation plus three atomic adds — no branching on bucket
+// boundaries, no allocation, no locking — which keeps it cheap enough for
+// per-decision latency and per-batch occupancy measurements on the packet
+// path. A nil *Histogram ignores observations.
+//
+// The bucket layout is deliberately coarse (powers of two): the paper's
+// latency model is cycle-exact, so what matters for observability is the
+// order of magnitude of a stall or a queue depth, not its third decimal.
+// Buckets are unpadded — a histogram has few writers, and 65 padded slots
+// would cost 4 KiB per metric.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bits.Len64(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Bucket returns the number of observations in bucket i.
+func (h *Histogram) Bucket(i int) uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.buckets[i].Load()
+}
+
+// BucketBound returns the inclusive upper bound of bucket i: 2^i - 1 for
+// i < 64. Bucket 64 is unbounded (callers should render it as +Inf).
+func BucketBound(i int) uint64 {
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}

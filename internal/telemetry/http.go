@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"expvar"
+	"net/http"
+)
+
+// Handler serves the registry in Prometheus text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// PublishExpvar publishes the registry's Snapshot under name in the
+// process-wide expvar namespace (served at /debug/vars). Publishing twice
+// under the same name is a no-op rather than expvar's panic, so tests and
+// restart loops can call it freely; the first registry to claim a name
+// keeps it.
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// Mux assembles the full observability surface:
+//
+//	/metrics       Prometheus text format
+//	/debug/vars    expvar JSON (registry snapshot published as "thanos")
+//	/trace         sampled decision traces as JSON
+//	/trace/chrome  the same traces in Chrome trace_event format
+//
+// traces supplies the current trace snapshot per request; pass nil when no
+// tracer is wired and the trace endpoints serve empty sets. All endpoints
+// are scrape-path only — they allocate freely and never touch the packet
+// path.
+func Mux(r *Registry, traces func() []Trace) *http.ServeMux {
+	r.PublishExpvar("thanos")
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var ts []Trace
+		if traces != nil {
+			ts = traces()
+		}
+		_ = WriteTraceJSON(w, ts)
+	})
+	mux.HandleFunc("/trace/chrome", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var ts []Trace
+		if traces != nil {
+			ts = traces()
+		}
+		_ = WriteChromeTrace(w, ts)
+	})
+	return mux
+}

@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestMux(t *testing.T) (*httptest.Server, *Registry) {
+	t.Helper()
+	r := NewRegistry()
+	c := r.NewCounter("thanos_http_test_total", "scrape test counter")
+	c.Add(5)
+	tr := NewTracer(1, 4, 0)
+	s := tr.Sample()
+	s.AddStage("table", 8, 0)
+	s.Finish(0, 2, true)
+	srv := httptest.NewServer(Mux(r, tr.Snapshot))
+	t.Cleanup(srv.Close)
+	return srv, r
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _ := newTestMux(t)
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "thanos_http_test_total 5") {
+		t.Fatalf("metrics body missing counter:\n%s", raw)
+	}
+}
+
+func TestExpvarEndpoint(t *testing.T) {
+	srv, _ := newTestMux(t)
+	resp, err := srv.Client().Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := vars["thanos"]
+	if !ok {
+		t.Fatalf("expvar missing thanos key; got keys %v", keysOf(vars))
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap["thanos_http_test_total"].(float64) != 5 {
+		t.Fatalf("expvar snapshot = %v", snap)
+	}
+}
+
+func TestTraceEndpoints(t *testing.T) {
+	srv, _ := newTestMux(t)
+
+	resp, err := srv.Client().Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var traces []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&traces); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 || traces[0]["id"].(float64) != 2 {
+		t.Fatalf("traces = %v", traces)
+	}
+
+	resp2, err := srv.Client().Get(srv.URL + "/trace/chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	if len(chrome.TraceEvents) != 2 {
+		t.Fatalf("chrome events = %d, want 2 (decide + 1 stage)", len(chrome.TraceEvents))
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	r := NewRegistry()
+	// Second publish under the same name must not panic (expvar.Publish
+	// normally does); the first registration keeps the name.
+	r.PublishExpvar("thanos_test_idempotent")
+	r.PublishExpvar("thanos_test_idempotent")
+}
+
+func keysOf(m map[string]json.RawMessage) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,262 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// metricKind discriminates the export shape of a registered metric.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindSharded
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+// metric is one registered name plus the storage behind it. Exactly one of
+// the value fields is set, per kind.
+type metric struct {
+	name    string
+	help    string
+	kind    metricKind
+	counter *Counter
+	sharded *ShardedCounter
+	gauge   *Gauge
+	gaugeFn func() int64
+	hist    *Histogram
+}
+
+// Registry owns a fixed set of metrics. All registration happens at
+// construction time on the control plane (registration takes a lock and
+// allocates); after that, hot paths touch only the returned *Counter,
+// *Gauge and *Histogram handles, which are pure atomics. Export
+// (WritePrometheus, Snapshot) reads the same atomics and can run
+// concurrently with hot-path increments.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]bool)}
+}
+
+// register panics on duplicate or malformed names: both are construction
+// bugs, and catching them at wiring time beats silently exporting garbage.
+func (r *Registry) register(m *metric) {
+	if !validMetricName(m.name) {
+		panic("telemetry: invalid metric name " + strconv.Quote(m.name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byName[m.name] {
+		panic("telemetry: duplicate metric name " + strconv.Quote(m.name))
+	}
+	r.byName[m.name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// validMetricName checks the Prometheus name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]* without pulling in regexp.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// NewShardedCounter registers one logical counter striped over shards
+// padded slots; the exported value is the sum.
+func (r *Registry) NewShardedCounter(name, help string, shards int) *ShardedCounter {
+	s := NewShardedCounter(shards)
+	r.register(&metric{name: name, help: help, kind: kindSharded, sharded: s})
+	return s
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, kind: kindGauge, gauge: g})
+	return g
+}
+
+// NewGaugeFunc registers a gauge whose value is computed by fn at export
+// time. fn runs on the scrape path, never the packet path, so it may take
+// locks — but it must be safe to call concurrently with the workload that
+// owns the underlying state.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() int64) {
+	r.register(&metric{name: name, help: help, kind: kindGaugeFunc, gaugeFn: fn})
+}
+
+// NewHistogram registers and returns a power-of-two-bucket histogram.
+func (r *Registry) NewHistogram(name, help string) *Histogram {
+	h := &Histogram{}
+	r.register(&metric{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// snapshotMetrics copies the metric list under the lock so export walks it
+// without holding the lock across user callbacks (gauge funcs).
+func (r *Registry) snapshotMetrics() []*metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*metric, len(r.metrics))
+	copy(out, r.metrics)
+	return out
+}
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4). Histograms are rendered with
+// cumulative le buckets at the power-of-two bounds, trailing empty buckets
+// elided, and a final +Inf bucket.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.snapshotMetrics() {
+		if err := writeMetric(w, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeMetric(w io.Writer, m *metric) error {
+	typ := "gauge"
+	switch m.kind {
+	case kindCounter, kindSharded:
+		typ = "counter"
+	case kindHistogram:
+		typ = "histogram"
+	}
+	if m.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, typ); err != nil {
+		return err
+	}
+	switch m.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s %d\n", m.name, m.counter.Value())
+		return err
+	case kindSharded:
+		_, err := fmt.Fprintf(w, "%s %d\n", m.name, m.sharded.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s %d\n", m.name, m.gauge.Value())
+		return err
+	case kindGaugeFunc:
+		_, err := fmt.Fprintf(w, "%s %d\n", m.name, m.gaugeFn())
+		return err
+	case kindHistogram:
+		return writeHistogram(w, m.name, m.hist)
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, h *Histogram) error {
+	// Find the highest non-empty bucket so the output stays readable;
+	// cumulative counts make the elided tail recoverable from +Inf.
+	top := -1
+	for i := 0; i < NumBuckets; i++ {
+		if h.Bucket(i) != 0 {
+			top = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= top && i < 64; i++ {
+		cum += h.Bucket(i)
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, BucketBound(i), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	return err
+}
+
+// HistogramSnapshot is the JSON-friendly view of a histogram.
+type HistogramSnapshot struct {
+	Count   uint64            `json:"count"`
+	Sum     uint64            `json:"sum"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"` // le bound -> non-cumulative count
+}
+
+// Snapshot returns all metric values keyed by name, suitable for JSON or
+// expvar export. Counters and gauges map to numbers, histograms to
+// HistogramSnapshot values. The map is freshly allocated; this is a
+// control-plane call.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	for _, m := range r.snapshotMetrics() {
+		switch m.kind {
+		case kindCounter:
+			out[m.name] = m.counter.Value()
+		case kindSharded:
+			out[m.name] = m.sharded.Value()
+		case kindGauge:
+			out[m.name] = m.gauge.Value()
+		case kindGaugeFunc:
+			out[m.name] = m.gaugeFn()
+		case kindHistogram:
+			hs := HistogramSnapshot{Count: m.hist.Count(), Sum: m.hist.Sum()}
+			for i := 0; i < NumBuckets; i++ {
+				if n := m.hist.Bucket(i); n != 0 {
+					if hs.Buckets == nil {
+						hs.Buckets = make(map[string]uint64)
+					}
+					le := "+Inf"
+					if i < 64 {
+						le = strconv.FormatUint(BucketBound(i), 10)
+					}
+					hs.Buckets[le] = n
+				}
+			}
+			out[m.name] = hs
+		}
+	}
+	return out
+}
+
+// Names returns the registered metric names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		names = append(names, m.name)
+	}
+	sort.Strings(names)
+	return names
+}

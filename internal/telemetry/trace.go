@@ -1,0 +1,249 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// MaxTraceStages bounds the number of chain steps a single trace can
+// record. The paper's pipelines are shallow (K <= 8 stages, chains of a
+// few UFPU/BFPU steps), so a fixed array keeps traces flat in the ring
+// with no per-stage allocation.
+const MaxTraceStages = 32
+
+// TraceStage is one step of a decision's candidate-set narrowing: the
+// step's label (the filter-chain expression or pipeline stage), the
+// candidate-set popcount after the step executed, and the step's modeled
+// cycle cost.
+type TraceStage struct {
+	Label      string `json:"label"`
+	Candidates int32  `json:"candidates"`
+	Cycles     uint32 `json:"cycles"`
+}
+
+// Trace is one sampled decision's provenance: which shard ran it, what it
+// resolved to, and how the candidate set narrowed step by step. Traces
+// live in the Tracer's pre-allocated ring and are recycled in place.
+type Trace struct {
+	Seq       uint64 // 1-based global decision sequence number at sampling time
+	Shard     int32
+	Out       int32 // policy output index the caller resolved
+	ID        int32 // resolved id, -1 when the result was empty
+	OK        bool
+	NumStages int32
+	Stages    [MaxTraceStages]TraceStage
+}
+
+// AddStage appends one narrowing step. Nil traces and overflow beyond
+// MaxTraceStages are ignored, so instrumented loops need no guards.
+func (tr *Trace) AddStage(label string, candidates int, cycles uint64) {
+	if tr == nil || tr.NumStages >= MaxTraceStages {
+		return
+	}
+	s := &tr.Stages[tr.NumStages]
+	s.Label = label
+	s.Candidates = int32(candidates)
+	s.Cycles = uint32(cycles)
+	tr.NumStages++
+}
+
+// Finish records the decision outcome. Nil-safe.
+func (tr *Trace) Finish(out, id int, ok bool) {
+	if tr == nil {
+		return
+	}
+	tr.Out = int32(out)
+	tr.ID = int32(id)
+	tr.OK = ok
+}
+
+// Tracer deterministically samples one decision in every `every` and
+// records it into a fixed ring buffer. Sample costs two atomic adds on the
+// miss path and recycles a pre-allocated ring slot on the hit path — zero
+// allocation either way. Sampling is sequence-based, not time-based, so a
+// replayed workload samples exactly the same decisions.
+//
+// A Tracer assumes a single writer (the engine gives each shard its own);
+// Snapshot must only run while the writer is quiescent — the engine
+// arranges that by holding its batch lock.
+type Tracer struct {
+	every uint64
+	shard int32
+	seq   atomic.Uint64
+	next  atomic.Uint64
+	ring  []Trace
+}
+
+// NewTracer returns a tracer sampling 1 in every decisions into a ring of
+// the given capacity, tagging traces with the shard id. every and capacity
+// are clamped to at least 1.
+func NewTracer(every, capacity, shard int) *Tracer {
+	if every < 1 {
+		every = 1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{every: uint64(every), shard: int32(shard), ring: make([]Trace, capacity)}
+}
+
+// Sample advances the decision sequence and returns a reset ring slot when
+// this decision is sampled, nil otherwise. Nil tracers always return nil.
+func (t *Tracer) Sample() *Trace {
+	if t == nil {
+		return nil
+	}
+	n := t.seq.Add(1)
+	if n%t.every != 0 {
+		return nil
+	}
+	slot := (t.next.Add(1) - 1) % uint64(len(t.ring))
+	tr := &t.ring[slot]
+	tr.Seq = n
+	tr.Shard = t.shard
+	tr.Out = 0
+	tr.ID = -1
+	tr.OK = false
+	tr.NumStages = 0
+	return tr
+}
+
+// Seq returns the number of decisions the tracer has seen.
+func (t *Tracer) Seq() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.seq.Load()
+}
+
+// Snapshot copies the valid ring entries out in ascending Seq order. Must
+// not run concurrently with Sample/AddStage/Finish on the same tracer.
+func (t *Tracer) Snapshot() []Trace {
+	if t == nil {
+		return nil
+	}
+	var out []Trace
+	for i := range t.ring {
+		if t.ring[i].Seq != 0 {
+			out = append(out, t.ring[i])
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// traceJSON is the export view of a Trace: the fixed stage array collapses
+// to its populated prefix.
+type traceJSON struct {
+	Seq    uint64       `json:"seq"`
+	Shard  int32        `json:"shard"`
+	Out    int32        `json:"out"`
+	ID     int32        `json:"id"`
+	OK     bool         `json:"ok"`
+	Stages []TraceStage `json:"stages"`
+}
+
+func toTraceJSON(traces []Trace) []traceJSON {
+	out := make([]traceJSON, len(traces))
+	for i := range traces {
+		tr := &traces[i]
+		out[i] = traceJSON{
+			Seq:    tr.Seq,
+			Shard:  tr.Shard,
+			Out:    tr.Out,
+			ID:     tr.ID,
+			OK:     tr.OK,
+			Stages: append([]TraceStage(nil), tr.Stages[:tr.NumStages]...),
+		}
+	}
+	return out
+}
+
+// WriteTraceJSON writes the traces as a JSON array of decision records.
+func WriteTraceJSON(w io.Writer, traces []Trace) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(toTraceJSON(traces))
+}
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (chrome://tracing, Perfetto). We emit complete ("X") events only.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int32          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// traceSpacing is the synthetic microsecond gap between consecutive
+// sampled decisions on the Chrome timeline. Timestamps are derived from
+// the deterministic decision sequence number, not wall-clock time, so the
+// exported timeline is reproducible run to run.
+const traceSpacing = 1000
+
+// WriteChromeTrace writes the traces in Chrome trace_event JSON. Each
+// sampled decision becomes a complete event spanning its modeled cycle
+// cost, with one child event per chain step carrying the step label and
+// the post-step candidate count; tid is the shard, so each shard renders
+// as its own track.
+func WriteChromeTrace(w io.Writer, traces []Trace) error {
+	ct := chromeTrace{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{}}
+	for i := range traces {
+		tr := &traces[i]
+		base := tr.Seq * traceSpacing
+		var total uint64
+		for s := int32(0); s < tr.NumStages; s++ {
+			total += uint64(tr.Stages[s].Cycles)
+		}
+		if total == 0 {
+			total = 1
+		}
+		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+			Name: "decide",
+			Cat:  "decision",
+			Ph:   "X",
+			Ts:   base,
+			Dur:  total,
+			Pid:  1,
+			Tid:  tr.Shard,
+			Args: map[string]any{
+				"seq": tr.Seq,
+				"out": tr.Out,
+				"id":  tr.ID,
+				"ok":  tr.OK,
+			},
+		})
+		var elapsed uint64
+		for s := int32(0); s < tr.NumStages; s++ {
+			st := &tr.Stages[s]
+			dur := uint64(st.Cycles)
+			if dur == 0 {
+				dur = 1
+			}
+			ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+				Name: st.Label,
+				Cat:  "stage",
+				Ph:   "X",
+				Ts:   base + elapsed,
+				Dur:  dur,
+				Pid:  1,
+				Tid:  tr.Shard,
+				Args: map[string]any{"candidates": st.Candidates},
+			})
+			elapsed += uint64(st.Cycles)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(ct)
+}

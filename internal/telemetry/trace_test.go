@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTracerSamplingCadence(t *testing.T) {
+	tr := NewTracer(3, 8, 2)
+	var hits []uint64
+	for i := 0; i < 10; i++ {
+		if s := tr.Sample(); s != nil {
+			hits = append(hits, s.Seq)
+			if s.Shard != 2 {
+				t.Fatalf("shard = %d, want 2", s.Shard)
+			}
+			if s.NumStages != 0 || s.ID != -1 || s.OK {
+				t.Fatalf("sampled trace not reset: %+v", s)
+			}
+		}
+	}
+	if len(hits) != 3 || hits[0] != 3 || hits[1] != 6 || hits[2] != 9 {
+		t.Fatalf("sampled seqs = %v, want [3 6 9]", hits)
+	}
+	if tr.Seq() != 10 {
+		t.Fatalf("seq = %d, want 10", tr.Seq())
+	}
+
+	// Nil tracer: Sample never fires, and the nil-trace mutators are inert.
+	var nilTracer *Tracer
+	ntr := nilTracer.Sample()
+	if ntr != nil {
+		t.Fatal("nil tracer should not sample")
+	}
+	ntr.AddStage("x", 1, 1)
+	ntr.Finish(0, 1, true)
+	if nilTracer.Snapshot() != nil {
+		t.Fatal("nil tracer snapshot should be nil")
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(1, 4, 0)
+	for i := 0; i < 10; i++ {
+		s := tr.Sample()
+		if s == nil {
+			t.Fatal("every=1 must sample every decision")
+		}
+		s.AddStage("step", i, 1)
+		s.Finish(0, i, true)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot len = %d, want ring capacity 4", len(snap))
+	}
+	// Ring keeps the newest 4, returned in ascending Seq order.
+	for i, want := range []uint64{7, 8, 9, 10} {
+		if snap[i].Seq != want {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d", i, snap[i].Seq, want)
+		}
+	}
+}
+
+func TestTraceStageOverflow(t *testing.T) {
+	tr := NewTracer(1, 1, 0)
+	s := tr.Sample()
+	for i := 0; i < MaxTraceStages+5; i++ {
+		s.AddStage("x", i, 1)
+	}
+	if s.NumStages != MaxTraceStages {
+		t.Fatalf("stages = %d, want clamp at %d", s.NumStages, MaxTraceStages)
+	}
+}
+
+func TestWriteTraceJSON(t *testing.T) {
+	tr := NewTracer(1, 4, 1)
+	s := tr.Sample()
+	s.AddStage("table", 16, 0)
+	s.AddStage("pred(table, cpu < 70)", 9, 3)
+	s.Finish(0, 5, true)
+
+	var buf bytes.Buffer
+	if err := WriteTraceJSON(&buf, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []struct {
+		Seq    uint64 `json:"seq"`
+		Shard  int32  `json:"shard"`
+		ID     int32  `json:"id"`
+		OK     bool   `json:"ok"`
+		Stages []struct {
+			Label      string `json:"label"`
+			Candidates int32  `json:"candidates"`
+			Cycles     uint32 `json:"cycles"`
+		} `json:"stages"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 1 {
+		t.Fatalf("decoded %d traces, want 1", len(decoded))
+	}
+	d := decoded[0]
+	if d.Seq != 1 || d.Shard != 1 || d.ID != 5 || !d.OK {
+		t.Fatalf("decoded trace = %+v", d)
+	}
+	if len(d.Stages) != 2 || d.Stages[1].Label != "pred(table, cpu < 70)" || d.Stages[1].Candidates != 9 {
+		t.Fatalf("decoded stages = %+v", d.Stages)
+	}
+}
+
+// TestChromeTraceRoundTrip is the acceptance-criteria check: a sampled
+// decision trace must round-trip through the Chrome trace_event JSON
+// export with its narrowing sequence intact.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	tr := NewTracer(2, 8, 3)
+	tr.Sample() // seq 1: not sampled
+	s := tr.Sample()
+	if s == nil {
+		t.Fatal("seq 2 should be sampled")
+	}
+	s.AddStage("table", 32, 0)
+	s.AddStage("pred(table, mem > 100)", 20, 6)
+	s.AddStage("min(table, cpu)", 1, 6)
+	s.Finish(1, 17, true)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   uint64         `json:"ts"`
+			Dur  uint64         `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int32          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	// One enclosing decide event plus one event per stage.
+	if len(decoded.TraceEvents) != 4 {
+		t.Fatalf("events = %d, want 4", len(decoded.TraceEvents))
+	}
+	top := decoded.TraceEvents[0]
+	if top.Name != "decide" || top.Ph != "X" || top.Tid != 3 {
+		t.Fatalf("decide event = %+v", top)
+	}
+	if top.Ts != 2*traceSpacing || top.Dur != 12 {
+		t.Fatalf("decide ts/dur = %d/%d, want %d/12", top.Ts, top.Dur, 2*traceSpacing)
+	}
+	if top.Args["id"].(float64) != 17 || top.Args["ok"].(bool) != true {
+		t.Fatalf("decide args = %v", top.Args)
+	}
+	wantStages := []struct {
+		name string
+		cand float64
+		ts   uint64
+	}{
+		{"table", 32, 2 * traceSpacing},
+		{"pred(table, mem > 100)", 20, 2 * traceSpacing},
+		{"min(table, cpu)", 1, 2*traceSpacing + 6},
+	}
+	for i, want := range wantStages {
+		ev := decoded.TraceEvents[i+1]
+		if ev.Name != want.name || ev.Cat != "stage" {
+			t.Fatalf("stage %d = %+v, want name %q", i, ev, want.name)
+		}
+		if ev.Args["candidates"].(float64) != want.cand {
+			t.Fatalf("stage %d candidates = %v, want %v", i, ev.Args["candidates"], want.cand)
+		}
+		if ev.Ts != want.ts {
+			t.Fatalf("stage %d ts = %d, want %d", i, ev.Ts, want.ts)
+		}
+	}
+	// Determinism: exporting the same snapshot twice is byte-identical.
+	var buf2 bytes.Buffer
+	if err := WriteChromeTrace(&buf2, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("chrome trace export is not deterministic")
+	}
+}
