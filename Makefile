@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test bench check check-debug fuzz-smoke overhead-smoke metrics-demo
+.PHONY: build test bench check check-debug check-fault fuzz-smoke overhead-smoke metrics-demo
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,16 @@ check: build
 check-debug:
 	$(GO) run ./cmd/thanoslint -debug .
 	$(GO) test -tags thanosdebug ./...
+
+# check-fault runs the failure-injection suite under the race detector: the
+# deterministic fault planner, engine shard quarantine/resync, replica
+# divergence handling, netsim link/switch faults with RTO recovery, the
+# Figure 17/18 failure sweeps, and the lb control-plane retry path.
+check-fault:
+	$(GO) test -race -count=1 ./internal/fault/
+	$(GO) test -race -count=1 \
+		-run 'Fault|Failure|Quarantine|Resync|Replica|ControlUpdater|ClusterRun|RTO|PortSetDown|EngineClose' \
+		./internal/engine/ ./internal/smbm/ ./internal/netsim/ ./internal/experiments/ ./internal/lb/
 
 # fuzz-smoke runs each native fuzz target for FUZZTIME (30s default) from
 # its checked-in seed corpus: the DSL parser round-trip and the bit-vector

@@ -9,6 +9,12 @@
 //	netsim -policy multidim -load 0.8
 //	netsim -topo fattree -k 4 -policy ecmp -flows 500
 //	netsim -policy drill -d 2 -m 1 -load 0.9
+//
+// Failure sweeps (§ graceful degradation) inject a spine or leaf-uplink
+// failure mid-run and report fault and control-plane counters:
+//
+//	netsim -policy multidim -fail spine -fail-spine 0
+//	netsim -policy minutil -fail uplink -fail-leaf 1 -ctrl-drop 0.1
 package main
 
 import (
@@ -43,9 +49,41 @@ func main() {
 	m := flag.Int("m", 1, "DRILL m")
 	metrics := flag.String("metrics", "", "serve /metrics, /debug/vars and /trace on this address (e.g. :9090)")
 	hold := flag.Duration("hold", 0, "keep the process (and the metrics endpoint) alive this long after the run")
+	failMode := flag.String("fail", "", "failure scenario: spine | uplink (clos only)")
+	failSpine := flag.Int("fail-spine", 0, "spine to fail")
+	failLeaf := flag.Int("fail-leaf", 0, "leaf losing its uplink (-fail uplink)")
+	failAt := flag.Duration("fail-at", 2*time.Millisecond, "simulated time of the fault")
+	recoverAt := flag.Duration("recover-at", 30*time.Millisecond, "simulated time of the recovery")
+	detect := flag.Duration("detect", 100*time.Microsecond, "control-plane failure-detection latency")
+	syncEvery := flag.Duration("sync", 5*time.Millisecond, "control-plane reconciliation interval (0 disables)")
+	ctrlDrop := flag.Float64("ctrl-drop", 0.05, "control-plane update drop probability")
+	ctrlDelay := flag.Duration("ctrl-delay", 200*time.Microsecond, "control-plane update delay bound")
 	flag.Parse()
 
-	if err := run(*topo, *kAry, *leaves, *spines, *hostsPerLeaf, *pol, *load, *flows, *scale, *seed, *d, *m, *metrics, *hold); err != nil {
+	var failCfg *experiments.FailureConfig
+	switch *failMode {
+	case "":
+	case "spine", "uplink":
+		failCfg = &experiments.FailureConfig{
+			Scenario:       experiments.FailSpine,
+			Spine:          *failSpine,
+			Leaf:           *failLeaf,
+			FailAt:         sim.Time(failAt.Nanoseconds()),
+			RecoverAt:      sim.Time(recoverAt.Nanoseconds()),
+			DetectDelay:    sim.Time(detect.Nanoseconds()),
+			SyncInterval:   sim.Time(syncEvery.Nanoseconds()),
+			UpdateDropProb: *ctrlDrop,
+			UpdateMaxDelay: sim.Time(ctrlDelay.Nanoseconds()),
+		}
+		if *failMode == "uplink" {
+			failCfg.Scenario = experiments.FailLeafUplink
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "netsim: unknown -fail mode %q\n", *failMode)
+		os.Exit(1)
+	}
+
+	if err := run(*topo, *kAry, *leaves, *spines, *hostsPerLeaf, *pol, *load, *flows, *scale, *seed, *d, *m, *metrics, *hold, failCfg); err != nil {
 		fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
 		os.Exit(1)
 	}
@@ -70,14 +108,36 @@ func serveMetrics(addr string, reg *telemetry.Registry) error {
 
 func run(topo string, kAry, leaves, spines, hostsPerLeaf int, pol string,
 	load float64, flows int, scale float64, seed int64, d, m int,
-	metricsAddr string, hold time.Duration) error {
+	metricsAddr string, hold time.Duration, failCfg *experiments.FailureConfig) error {
 
 	cfg := experiments.DefaultNetConfig(seed)
 	cfg.Leaves, cfg.Spines, cfg.HostsPerLeaf = leaves, spines, hostsPerLeaf
 	cfg.Flows, cfg.SizeScale = flows, scale
 	cfg.DrillD, cfg.DrillM = d, m
+	if failCfg != nil {
+		failCfg.Net = cfg
+		if topo != "clos" {
+			return fmt.Errorf("failure scenarios need -topo clos")
+		}
+	}
+
+	buildRouting := func(p experiments.RoutingPolicy) (*netsim.Network, *experiments.FailureProbe, error) {
+		if failCfg != nil {
+			return experiments.BuildRoutingFailure(*failCfg, p)
+		}
+		n, err := experiments.BuildRouting(cfg, p)
+		return n, nil, err
+	}
+	buildPortLB := func(p experiments.PortPolicy) (*netsim.Network, *experiments.FailureProbe, error) {
+		if failCfg != nil {
+			return experiments.BuildPortLBFailure(*failCfg, p)
+		}
+		n, err := experiments.BuildPortLB(cfg, p)
+		return n, nil, err
+	}
 
 	var net *netsim.Network
+	var probe *experiments.FailureProbe
 	var err error
 	switch {
 	case topo == "fattree":
@@ -91,15 +151,15 @@ func run(topo string, kAry, leaves, spines, hostsPerLeaf int, pol string,
 		cfg.Leaves = kAry // hosts calculation below uses cfg fields
 		cfg.HostsPerLeaf = kAry * kAry / 4
 	case pol == "ecmp":
-		net, err = experiments.BuildRouting(cfg, experiments.RouteECMP)
+		net, probe, err = buildRouting(experiments.RouteECMP)
 	case pol == "minutil":
-		net, err = experiments.BuildRouting(cfg, experiments.RouteMinUtil)
+		net, probe, err = buildRouting(experiments.RouteMinUtil)
 	case pol == "multidim":
-		net, err = experiments.BuildRouting(cfg, experiments.RouteMultiDim)
+		net, probe, err = buildRouting(experiments.RouteMultiDim)
 	case pol == "minq":
-		net, err = experiments.BuildPortLB(cfg, experiments.PortMinQueue)
+		net, probe, err = buildPortLB(experiments.PortMinQueue)
 	case pol == "drill":
-		net, err = experiments.BuildPortLB(cfg, experiments.PortDRILL)
+		net, probe, err = buildPortLB(experiments.PortDRILL)
 	default:
 		return fmt.Errorf("unknown policy %q", pol)
 	}
@@ -109,6 +169,9 @@ func run(topo string, kAry, leaves, spines, hostsPerLeaf int, pol string,
 	if metricsAddr != "" {
 		reg := telemetry.NewRegistry()
 		net.RegisterTelemetry(reg, "thanos_netsim")
+		if probe != nil {
+			probe.RegisterTelemetry(reg, "thanos_netsim")
+		}
 		if err := serveMetrics(metricsAddr, reg); err != nil {
 			return err
 		}
@@ -161,6 +224,14 @@ func run(topo string, kAry, leaves, spines, hostsPerLeaf int, pol string,
 		}
 	}
 	fmt.Printf("switch drops: %d, simulated time: %v\n", drops, net.Sched.Now())
+	if probe != nil {
+		c := probe.Injector.Counts()
+		fmt.Printf("faults: injected %d, recovered %d, fault drops %d, reroutes %d\n",
+			c.Injected, c.Recovered, probe.FaultDrops(), probe.Reroutes())
+		fmt.Printf("control plane: detections %d, syncs %d, updates delivered %d / dropped %d / delayed %d\n",
+			probe.Detections(), probe.Syncs(),
+			probe.Control.Delivered(), probe.Control.Dropped(), probe.Control.Delayed())
+	}
 	if hold > 0 {
 		fmt.Printf("holding %v for metric scrapes...\n", hold)
 		time.Sleep(hold)

@@ -29,10 +29,23 @@
 // ring buffers, and blocks until every decision is written back into the
 // batch in place. The steady-state path — partitioning, ring hand-off,
 // policy execution, fallback resolution — performs zero heap allocations.
+//
+// # Graceful degradation
+//
+// A replica that diverges from the authoritative table (memory corruption, a
+// failed broadcast write) is not a crash: the shard moves through a health
+// state machine (healthy → quarantined → resyncing → healthy). Quarantined
+// shards are skipped by the batch partitioner — their traffic fails over to
+// healthy shards — while a background loop rebuilds both snapshots from an
+// epoch-consistent view of the authoritative table, with capped exponential
+// backoff between failed attempts. Likewise, using the engine after Close
+// degrades (decisions come back OK=false, writes return ErrClosed) instead
+// of panicking. See health.go.
 package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/pprof"
@@ -40,11 +53,15 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/policy"
 	"repro/internal/smbm"
 	"repro/internal/telemetry"
 )
+
+// ErrClosed is returned by control-plane writes issued after Close.
+var ErrClosed = errors.New("engine: closed")
 
 // DefaultChunkSize is the number of packets per ring-buffer work descriptor:
 // large enough to amortize the hand-off, small enough that a batch spreads
@@ -99,7 +116,19 @@ type Config struct {
 	// TraceCapacity is each shard's trace ring size; 0 selects
 	// DefaultTraceCapacity. Ignored without Telemetry.
 	TraceCapacity int
+	// ResyncBase is the initial backoff between failed resync attempts of a
+	// quarantined shard; 0 selects DefaultResyncBase.
+	ResyncBase time.Duration
+	// ResyncMax caps the exponential resync backoff; 0 selects
+	// DefaultResyncMax.
+	ResyncMax time.Duration
 }
+
+// DefaultResyncBase is the default initial resync retry backoff.
+const DefaultResyncBase = time.Millisecond
+
+// DefaultResyncMax is the default cap on the exponential resync backoff.
+const DefaultResyncMax = 100 * time.Millisecond
 
 // DefaultTraceEvery is the default per-shard decision sampling period of
 // the provenance tracer.
@@ -145,13 +174,24 @@ type shard struct {
 	// steady-state producer path does not allocate.
 	pidx []int32
 
+	// health is the shard's position in the degradation state machine
+	// (Healthy/Quarantined/Resyncing). Transitions happen under Engine.wmu;
+	// the atomic lets the partitioner and scrapers read it lock-free.
+	health atomic.Int32
+	// lastErr records the divergence that quarantined the shard; guarded by
+	// Engine.wmu.
+	lastErr error
+
 	// Telemetry handles, nil unless Config.Telemetry was set. decCtr and
 	// emptyCtr are this shard's padded slots of the engine-wide sharded
 	// counters; tracer is this shard's provenance tracer. Only the shard's
-	// reader goroutine touches them on the hot path.
+	// reader goroutine touches them on the hot path. chainTel/tableTel are
+	// kept so resync can re-attach the shard's stats to rebuilt snapshots.
 	decCtr   *telemetry.Counter
 	emptyCtr *telemetry.Counter
 	tracer   *telemetry.Tracer
+	chainTel *telemetry.ChainStats
+	tableTel *telemetry.TableStats
 }
 
 // Engine is a concurrent sharded decision engine. Decisions (DecideBatch,
@@ -160,11 +200,25 @@ type shard struct {
 type Engine struct {
 	shards []*shard
 	pol    *policy.Policy
+	schema policy.Schema
 	chunk  int
+
+	// auth is the authoritative control-plane table: every accepted write
+	// lands here first, and quarantined shards rebuild from it. Guarded by
+	// wmu; never read by the decision path.
+	auth *smbm.SMBM
 
 	// counts is the per-shard packet tally for the batch being partitioned;
 	// guarded by pmu, sized once in New, reused across batches.
 	counts []int32
+
+	// steer maps a packet's home shard (Key mod Shards) to the shard that
+	// actually serves it: the identity while every shard is healthy, a
+	// healthy substitute for quarantined homes (failover), and unused while
+	// live==0. Guarded by pmu; rebuilt on every health transition.
+	steer []int32
+	// live is the number of healthy shards; guarded by pmu.
+	live int
 
 	// pmu serializes producers, keeping each ring single-producer and the
 	// producer scratch (pidx, counts, batch WaitGroup, one) reusable.
@@ -175,10 +229,20 @@ type Engine struct {
 	closed bool
 
 	// wmu serializes writers, so the two snapshots of every shard advance
-	// through the same operation sequence.
+	// through the same operation sequence. Lock order: wmu before pmu.
 	wmu sync.Mutex
 
-	running sync.WaitGroup // shard goroutines, for Close
+	running  sync.WaitGroup // shard goroutines, for Close
+	bg       sync.WaitGroup // background resync goroutines, for Close
+	closedCh chan struct{}  // closed by Close; bails writers and resync loops
+
+	// resync retry schedule (capped exponential backoff).
+	resyncBase time.Duration
+	resyncMax  time.Duration
+	// resyncFailHook, when set (tests/fault injection), is consulted at the
+	// top of every resync attempt; a non-nil error fails that attempt.
+	// Read under wmu.
+	resyncFailHook func(shard, attempt int) error
 
 	// Telemetry, nil unless Config.Telemetry was set. batchHist/ringHist
 	// are observed on the (pmu-serialized) producer path; swaps/waitSpins
@@ -188,6 +252,14 @@ type Engine struct {
 	ringHist  *telemetry.Histogram // ring occupancy at each chunk push
 	swaps     *telemetry.Counter   // active-snapshot publishes (one per shard per write)
 	waitSpins *telemetry.Counter   // writer spins on a reader-pinned retired snapshot (staleness)
+
+	// Degradation telemetry, nil-safe like every other handle.
+	quarCtr     *telemetry.Counter // shards quarantined after divergence
+	resyncCtr   *telemetry.Counter // resyncs completed
+	retryCtr    *telemetry.Counter // failed resync attempts (will back off + retry)
+	failoverCtr *telemetry.Counter // decisions diverted to a non-home shard
+	failedCtr   *telemetry.Counter // decisions failed: engine closed or no healthy shard
+	quarGauge   *telemetry.Gauge   // shards currently quarantined or resyncing
 }
 
 // New builds the engine: per shard, two complete table+interpreter replicas
@@ -209,7 +281,27 @@ func New(cfg Config) (*Engine, error) {
 	if chunk <= 0 {
 		chunk = DefaultChunkSize
 	}
-	e := &Engine{pol: cfg.Policy, chunk: chunk, counts: make([]int32, n)}
+	e := &Engine{
+		pol:        cfg.Policy,
+		schema:     cfg.Schema,
+		chunk:      chunk,
+		auth:       smbm.New(cfg.Capacity, len(cfg.Schema.Attrs)),
+		counts:     make([]int32, n),
+		steer:      make([]int32, n),
+		live:       n,
+		closedCh:   make(chan struct{}),
+		resyncBase: cfg.ResyncBase,
+		resyncMax:  cfg.ResyncMax,
+	}
+	if e.resyncBase <= 0 {
+		e.resyncBase = DefaultResyncBase
+	}
+	if e.resyncMax <= 0 {
+		e.resyncMax = DefaultResyncMax
+	}
+	for i := range e.steer {
+		e.steer[i] = int32(i)
+	}
 	for i := 0; i < n; i++ {
 		s := &shard{
 			ring: make([]work, ringSlots),
@@ -260,6 +352,12 @@ func (e *Engine) setupTelemetry(cfg Config, n int) {
 	e.ringHist = reg.NewHistogram("thanos_engine_ring_occupancy", "SPSC ring depth observed at each chunk enqueue")
 	e.swaps = reg.NewCounter("thanos_engine_epoch_swaps_total", "active-snapshot publishes (one per shard per table write)")
 	e.waitSpins = reg.NewCounter("thanos_engine_epoch_wait_spins_total", "writer spins waiting for a reader to drain a retired snapshot")
+	e.quarCtr = reg.NewCounter("thanos_engine_shards_quarantined_total", "shards quarantined after replica divergence")
+	e.resyncCtr = reg.NewCounter("thanos_engine_resyncs_completed_total", "quarantined shards rebuilt from the authoritative table and returned to service")
+	e.retryCtr = reg.NewCounter("thanos_engine_resync_retries_total", "failed resync attempts, retried with capped exponential backoff")
+	e.failoverCtr = reg.NewCounter("thanos_engine_failover_decisions_total", "decisions diverted from a quarantined home shard to a healthy one")
+	e.failedCtr = reg.NewCounter("thanos_engine_failed_decisions_total", "decisions failed because the engine was closed or no shard was healthy")
+	e.quarGauge = reg.NewGauge("thanos_engine_quarantined_shards", "shards currently quarantined or resyncing")
 	reg.NewGaugeFunc("thanos_engine_shards", "pipeline replicas", func() int64 { return int64(n) })
 	// thanos_engine_table_size (the TableStats gauge above) tracks the
 	// replica size as the readers apply writes; this one asks the
@@ -277,6 +375,8 @@ func (e *Engine) setupTelemetry(cfg Config, n int) {
 		s.decCtr = dec.Shard(i)
 		s.emptyCtr = empty.Shard(i)
 		s.tracer = telemetry.NewTracer(every, capacity, i)
+		s.chainTel = chains[i]
+		s.tableTel = tables[i]
 		// Both snapshots of a shard run on the same reader goroutine (never
 		// concurrently), so they can share the shard's handles.
 		for _, st := range s.states {
@@ -319,8 +419,12 @@ func (e *Engine) Policy() *policy.Policy { return e.pol }
 // Capacity returns N, the resource-slot count of the replica tables.
 func (e *Engine) Capacity() int { return e.shards[0].states[0].table.Capacity() }
 
-// Close stops every shard goroutine and waits for them to exit. Pending
-// batches are drained first. The engine must not be used after Close.
+// Close stops every shard goroutine and any background resyncs, and waits
+// for them to exit. Pending batches are drained first; Close is idempotent.
+// Using the engine after Close degrades instead of crashing: DecideBatch and
+// Decide fill every packet with ID=-1/OK=false (a batch racing Close may
+// still be served by the draining shards), and control-plane writes return
+// ErrClosed.
 func (e *Engine) Close() {
 	e.pmu.Lock()
 	if e.closed {
@@ -329,10 +433,12 @@ func (e *Engine) Close() {
 	}
 	e.closed = true
 	e.pmu.Unlock()
+	close(e.closedCh)
 	for _, s := range e.shards {
 		close(s.quit)
 	}
 	e.running.Wait()
+	e.bg.Wait()
 }
 
 // DecideBatch runs one policy decision per packet, in parallel across the
@@ -368,8 +474,12 @@ func (e *Engine) Decide() (id int, ok bool) {
 }
 
 func (e *Engine) decideBatchLocked(pkts []Packet) {
-	if e.closed {
-		panic("engine: use after Close")
+	if e.closed || e.live == 0 {
+		// Degraded: the engine is closed, or every shard is quarantined.
+		// Fail the batch in place — callers observe OK=false — instead of
+		// panicking out of a benign shutdown race or a total fault.
+		e.failBatch(pkts)
+		return
 	}
 	nOut := len(e.pol.Outputs)
 	for i := range pkts {
@@ -379,19 +489,29 @@ func (e *Engine) decideBatchLocked(pkts []Packet) {
 	}
 	// Partition the batch across shards by steering key: a counting pass
 	// sizes each shard's index list exactly, so the fill pass below extends
-	// within capacity and the steady state never grows a slice.
+	// within capacity and the steady state never grows a slice. steer
+	// redirects packets homed on quarantined shards to healthy ones.
 	ns := uint64(len(e.shards))
 	for i := range e.counts {
 		e.counts[i] = 0
 	}
+	var diverted uint64
 	for i := range pkts {
-		e.counts[pkts[i].Key%ns]++
+		home := pkts[i].Key % ns
+		tgt := e.steer[home]
+		if uint64(tgt) != home {
+			diverted++
+		}
+		e.counts[tgt]++
+	}
+	if diverted != 0 {
+		e.failoverCtr.Add(diverted)
 	}
 	for si, s := range e.shards {
 		s.reservePidx(int(e.counts[si]))
 	}
 	for i := range pkts {
-		s := e.shards[pkts[i].Key%ns]
+		s := e.shards[e.steer[pkts[i].Key%ns]]
 		n := len(s.pidx)
 		s.pidx = s.pidx[:n+1]
 		s.pidx[n] = int32(i)
@@ -415,6 +535,16 @@ func (e *Engine) decideBatchLocked(pkts []Packet) {
 		}
 	}
 	e.wg.Wait()
+}
+
+// failBatch marks every packet undecided (ID=-1, OK=false) and counts the
+// failures. Allocation-free: it runs on the hot path's degraded branch.
+func (e *Engine) failBatch(pkts []Packet) {
+	for i := range pkts {
+		pkts[i].ID = -1
+		pkts[i].OK = false
+	}
+	e.failedCtr.Add(uint64(len(pkts)))
 }
 
 // reservePidx empties the shard's packet-index scratch and ensures capacity
@@ -542,39 +672,70 @@ func (e *Engine) Upsert(id int, vals []int64) error {
 // Remove is Delete under the name the simulator backends use.
 func (e *Engine) Remove(id int) error { return e.Delete(id) }
 
-// apply propagates one table operation to both snapshots of every shard
-// without ever stalling readers: per shard, mutate the shadow snapshot,
+// apply propagates one table operation to the authoritative table and then
+// to both snapshots of every healthy shard. The operation is validated
+// against the authoritative table first; a validation failure (duplicate id,
+// missing id, full table) leaves every replica untouched.
+//
+// A failure on a shard replica after the authority accepted the write means
+// that replica has diverged. That used to panic; now the shard is
+// quarantined — its traffic fails over to healthy shards while a background
+// resync rebuilds it from the authority — and apply reports the first
+// divergence as an ErrReplicaDivergence-wrapped error. Healthy shards still
+// receive the write, so the serving set stays consistent.
+func (e *Engine) apply(op func(*smbm.SMBM) error) error {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	select {
+	case <-e.closedCh:
+		return ErrClosed
+	default:
+	}
+	if err := op(e.auth); err != nil {
+		return err
+	}
+	var firstDiv error
+	for si, s := range e.shards {
+		if ShardHealth(s.health.Load()) != Healthy {
+			continue // will rebuild from e.auth on resync
+		}
+		if err := e.applyShard(s, op); err != nil {
+			e.quarantineLocked(si, err)
+			if firstDiv == nil {
+				firstDiv = fmt.Errorf("engine: shard %d quarantined: %w: %w",
+					si, smbm.ErrReplicaDivergence, err)
+			}
+		}
+	}
+	return firstDiv
+}
+
+// applyShard propagates one already-validated operation to both snapshots of
+// a shard without ever stalling readers: mutate the shadow snapshot,
 // atomically publish it as the new active epoch, wait for the reader to
 // finish any batch pinned to the old epoch, then replay the operation on the
 // retired snapshot. This mirrors the paper's pipelined 2-cycle SMBM writes
 // (§5.1.4): reads issued at any moment see a complete, consistent table.
-//
-// The operation is validated against the first shard's shadow replica; a
-// validation failure (duplicate id, missing id, full table) leaves every
-// replica untouched. A failure on any later replica means the replicas have
-// diverged, which the synchronous-update design rules out — it panics
-// loudly, exactly like smbm.ReplicaGroup.
-func (e *Engine) apply(op func(*smbm.SMBM) error) error {
-	e.wmu.Lock()
-	defer e.wmu.Unlock()
-	for si, s := range e.shards {
-		act := s.active.Load()
-		shadow := s.other(act)
-		if err := op(shadow.table); err != nil {
-			if si == 0 {
-				return err
-			}
-			panic("engine: replica divergence: " + err.Error())
-		}
-		s.active.Store(shadow)
-		e.swaps.Inc()
-		for s.inUse.Load() == act {
-			e.waitSpins.Inc() // staleness: the retired epoch is still pinned
-			runtime.Gosched() // reader still draining the old epoch
-		}
-		if err := op(act.table); err != nil {
-			panic("engine: replica divergence: " + err.Error())
-		}
+// Caller holds wmu.
+func (e *Engine) applyShard(s *shard, op func(*smbm.SMBM) error) error {
+	act := s.active.Load()
+	shadow := s.other(act)
+	if err := op(shadow.table); err != nil {
+		// The shadow missed a write the authority accepted: the shard is
+		// behind the authoritative sequence, though its two snapshots still
+		// agree with each other.
+		return err
+	}
+	s.active.Store(shadow)
+	e.swaps.Inc()
+	for s.inUse.Load() == act {
+		e.waitSpins.Inc() // staleness: the retired epoch is still pinned
+		runtime.Gosched() // reader still draining the old epoch
+	}
+	if err := op(act.table); err != nil {
+		// The retired snapshot rejected a replay its twin accepted: the two
+		// snapshots now disagree. Quarantine heals both from the authority.
+		return err
 	}
 	return nil
 }
@@ -588,30 +749,38 @@ func (s *shard) other(st *snapshot) *snapshot {
 }
 
 // Metrics returns a copy of the metric values for id from the authoritative
-// (shard 0, active) replica, or ok=false if absent. Control-plane read.
+// table, or ok=false if absent. Control-plane read.
 func (e *Engine) Metrics(id int) ([]int64, bool) {
 	e.wmu.Lock()
 	defer e.wmu.Unlock()
-	return e.shards[0].active.Load().table.Metrics(id)
+	return e.auth.Metrics(id)
 }
 
 // Size returns the number of resources currently stored.
 func (e *Engine) Size() int {
 	e.wmu.Lock()
 	defer e.wmu.Unlock()
-	return e.shards[0].active.Load().table.Size()
+	return e.auth.Size()
 }
 
-// CheckSync verifies the engine-wide InSync invariant: all 2×Shards replica
-// tables hold identical contents and satisfy every SMBM structural
-// invariant. Intended for tests; it takes the writer lock, so in-flight
-// decisions are unaffected but writes are briefly excluded.
+// CheckSync verifies the engine-wide InSync invariant: both replica tables
+// of every healthy shard hold contents identical to the authoritative table
+// and satisfy every SMBM structural invariant. Quarantined and resyncing
+// shards are excluded — they are known-diverged and out of the serving set.
+// Intended for tests; it takes the writer lock, so in-flight decisions are
+// unaffected but writes are briefly excluded.
 func (e *Engine) CheckSync() error {
 	e.wmu.Lock()
 	defer e.wmu.Unlock()
-	base := e.shards[0].active.Load().table
+	base := e.auth
+	if err := base.CheckInvariants(); err != nil {
+		return fmt.Errorf("authoritative table: %w", err)
+	}
 	ids := base.Members().IDs()
 	for si, s := range e.shards {
+		if ShardHealth(s.health.Load()) != Healthy {
+			continue
+		}
 		for sti, st := range s.states {
 			t := st.table
 			if err := t.CheckInvariants(); err != nil {

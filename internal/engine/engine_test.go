@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -265,12 +266,19 @@ func TestEngineCloseIdempotentAndDefaults(t *testing.T) {
 	e.Close()
 	e.Close() // second close is a no-op
 
-	defer func() {
-		if recover() == nil {
-			t.Fatal("DecideBatch after Close did not panic")
-		}
-	}()
-	e.DecideBatch([]Packet{{}})
+	// Use after Close degrades instead of panicking: decisions come back
+	// undecided, writes report ErrClosed.
+	pkts := []Packet{{Key: 1, ID: 7, OK: true}}
+	e.DecideBatch(pkts)
+	if pkts[0].OK || pkts[0].ID != -1 {
+		t.Fatalf("DecideBatch after Close: got (%d,%v), want (-1,false)", pkts[0].ID, pkts[0].OK)
+	}
+	if id, ok := e.Decide(); ok || id != -1 {
+		t.Fatalf("Decide after Close: got (%d,%v), want (-1,false)", id, ok)
+	}
+	if err := e.Add(1, []int64{1, 2, 3}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Add after Close: err = %v, want ErrClosed", err)
+	}
 }
 
 func TestEngineBadOutputPanics(t *testing.T) {

@@ -1,0 +1,290 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/smbm"
+)
+
+// ShardHealth is a shard's position in the degradation state machine.
+//
+// A shard is Healthy while its two snapshots track the authoritative table
+// op-for-op. The first write it rejects after the authority accepted it (or
+// a divergence found by VerifyReplicas) moves it to Quarantined: the batch
+// partitioner steers its traffic to healthy shards and writers stop
+// broadcasting to it. A background loop then moves it Quarantined →
+// Resyncing while it rebuilds both snapshots from the authority, and back to
+// Healthy on success — or back to Quarantined, to retry with capped
+// exponential backoff, on failure.
+type ShardHealth int32
+
+const (
+	// Healthy: in the serving and broadcast sets.
+	Healthy ShardHealth = iota
+	// Quarantined: diverged from the authoritative table; out of the
+	// serving set, awaiting resync.
+	Quarantined
+	// Resyncing: a rebuild from the authoritative table is in progress;
+	// still out of the serving set.
+	Resyncing
+)
+
+func (h ShardHealth) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Quarantined:
+		return "quarantined"
+	case Resyncing:
+		return "resyncing"
+	default:
+		return fmt.Sprintf("ShardHealth(%d)", int32(h))
+	}
+}
+
+// Health returns shard si's current health state. Safe for concurrent use.
+func (e *Engine) Health(si int) ShardHealth {
+	return ShardHealth(e.shards[si].health.Load())
+}
+
+// HealthyShards returns the number of shards currently in the serving set.
+func (e *Engine) HealthyShards() int {
+	e.pmu.Lock()
+	defer e.pmu.Unlock()
+	return e.live
+}
+
+// LastShardError returns the divergence that most recently quarantined
+// shard si, or nil if it never diverged.
+func (e *Engine) LastShardError(si int) error {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	return e.shards[si].lastErr
+}
+
+// quarantineLocked moves a healthy shard to Quarantined, pulls it out of the
+// steering table (failover), and starts its background resync loop. Caller
+// holds wmu. Idempotent per transition: only the Healthy→Quarantined edge
+// spawns a resync.
+func (e *Engine) quarantineLocked(si int, cause error) {
+	s := e.shards[si]
+	if !s.health.CompareAndSwap(int32(Healthy), int32(Quarantined)) {
+		return
+	}
+	s.lastErr = cause
+	e.quarCtr.Inc()
+	e.quarGauge.Add(1)
+	e.rebuildSteering()
+	e.bg.Add(1)
+	go e.resyncLoop(si)
+}
+
+// rebuildSteering recomputes the home-shard → serving-shard table from the
+// current health states. Healthy shards serve themselves; a quarantined
+// home's traffic is spread over the healthy shards deterministically (k-th
+// dead shard → k mod live). With no healthy shards every entry is -1 and
+// the partitioner fails batches instead of dispatching them. Callers hold
+// wmu; this takes pmu (lock order wmu → pmu), so it also serializes with
+// in-flight batch partitioning.
+func (e *Engine) rebuildSteering() {
+	e.pmu.Lock()
+	defer e.pmu.Unlock()
+	liveIdx := make([]int32, 0, len(e.shards))
+	for i, s := range e.shards {
+		if ShardHealth(s.health.Load()) == Healthy {
+			liveIdx = append(liveIdx, int32(i))
+		}
+	}
+	e.live = len(liveIdx)
+	if e.live == 0 {
+		for i := range e.steer {
+			e.steer[i] = -1
+		}
+		return
+	}
+	k := 0
+	for i := range e.steer {
+		if ShardHealth(e.shards[i].health.Load()) == Healthy {
+			e.steer[i] = int32(i)
+		} else {
+			e.steer[i] = liveIdx[k%len(liveIdx)]
+			k++
+		}
+	}
+}
+
+// resyncLoop drives one quarantined shard back to health, retrying failed
+// rebuilds with capped exponential backoff until it succeeds or the engine
+// closes.
+func (e *Engine) resyncLoop(si int) {
+	defer e.bg.Done()
+	delay := e.resyncBase
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-e.closedCh:
+			return
+		default:
+		}
+		if err := e.resyncShard(si, attempt); err == nil {
+			e.resyncCtr.Inc()
+			e.quarGauge.Add(-1)
+			return
+		}
+		e.retryCtr.Inc()
+		select {
+		case <-e.closedCh:
+			return
+		case <-time.After(delay):
+		}
+		delay *= 2
+		if delay > e.resyncMax {
+			delay = e.resyncMax
+		}
+	}
+}
+
+// resyncShard rebuilds both snapshots of a quarantined shard from an
+// epoch-consistent view of the authoritative table and publishes them with
+// the usual epoch protocol: store the fresh active snapshot, spin until the
+// reader has drained whichever retired snapshot it may still be pinning,
+// then return the shard to the serving set. Holding wmu for the duration
+// gives the rebuild a stable authoritative snapshot; readers keep serving
+// from healthy shards throughout.
+func (e *Engine) resyncShard(si, attempt int) error {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	select {
+	case <-e.closedCh:
+		return ErrClosed
+	default:
+	}
+	if e.resyncFailHook != nil {
+		if err := e.resyncFailHook(si, attempt); err != nil {
+			return err
+		}
+	}
+	s := e.shards[si]
+	s.health.Store(int32(Resyncing))
+	old0, old1 := s.states[0], s.states[1]
+	ids := e.auth.Members().IDs()
+	var fresh [2]*snapshot
+	for j := range fresh {
+		t := smbm.New(e.auth.Capacity(), e.auth.NumMetrics())
+		for _, id := range ids {
+			vals, ok := e.auth.Metrics(id)
+			if !ok {
+				s.health.Store(int32(Quarantined))
+				return fmt.Errorf("engine: resync shard %d: id %d vanished from authority", si, id)
+			}
+			if err := t.Add(id, vals); err != nil {
+				s.health.Store(int32(Quarantined))
+				return fmt.Errorf("engine: resync shard %d: %w", si, err)
+			}
+		}
+		it, err := policy.NewInterp(t, e.schema, e.pol)
+		if err != nil {
+			s.health.Store(int32(Quarantined))
+			return fmt.Errorf("engine: resync shard %d: %w", si, err)
+		}
+		if s.chainTel != nil {
+			it.AttachTelemetry(s.chainTel)
+		}
+		if s.tableTel != nil {
+			t.AttachTelemetry(s.tableTel)
+		}
+		fresh[j] = &snapshot{table: t, interp: it}
+	}
+	s.states[0], s.states[1] = fresh[0], fresh[1]
+	s.active.Store(fresh[0])
+	e.swaps.Inc()
+	for {
+		u := s.inUse.Load()
+		if u != old0 && u != old1 {
+			break
+		}
+		e.waitSpins.Inc()
+		runtime.Gosched()
+	}
+	s.health.Store(int32(Healthy))
+	e.rebuildSteering()
+	return nil
+}
+
+// CorruptReplica forcibly removes resource id from both snapshots of shard
+// si while leaving the authoritative table untouched — the software stand-in
+// for a pipeline whose table memory no longer matches the control plane
+// (bit flip, missed update). The corruption follows the normal epoch
+// protocol, so the reader never observes a half-written table; it simply
+// starts returning decisions computed from stale contents until the
+// divergence is detected (by the next write touching id, or VerifyReplicas)
+// and the shard is quarantined. Fault-injection hook, used by
+// internal/fault and the regression tests.
+func (e *Engine) CorruptReplica(si, id int) error {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	select {
+	case <-e.closedCh:
+		return ErrClosed
+	default:
+	}
+	if si < 0 || si >= len(e.shards) {
+		return fmt.Errorf("engine: shard %d out of range [0,%d)", si, len(e.shards))
+	}
+	s := e.shards[si]
+	if ShardHealth(s.health.Load()) != Healthy {
+		return fmt.Errorf("engine: shard %d is %s, not healthy", si, ShardHealth(s.health.Load()))
+	}
+	return e.applyShard(s, func(t *smbm.SMBM) error { return t.Delete(id) })
+}
+
+// VerifyReplicas audits every healthy shard against the authoritative table
+// and quarantines any replica that silently diverged (e.g. injected
+// corruption that no subsequent write has touched). It returns the number of
+// shards newly quarantined. This is the detection half of the scrubbing
+// loop a control plane would run periodically; the repair half is the
+// background resync that quarantine starts.
+func (e *Engine) VerifyReplicas() int {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	ids := e.auth.Members().IDs()
+	n := 0
+	for si, s := range e.shards {
+		if ShardHealth(s.health.Load()) != Healthy {
+			continue
+		}
+		if err := e.verifyShard(s, ids); err != nil {
+			e.quarantineLocked(si, err)
+			n++
+		}
+	}
+	return n
+}
+
+// verifyShard compares both snapshots of a shard against the authoritative
+// contents. Caller holds wmu (no writes in flight); snapshot reads are safe
+// concurrently with the shard's reader, which never mutates tables.
+func (e *Engine) verifyShard(s *shard, ids []int) error {
+	for sti, st := range s.states {
+		if st.table.Size() != len(ids) {
+			return fmt.Errorf("engine: replica state %d holds %d resources, authority holds %d",
+				sti, st.table.Size(), len(ids))
+		}
+		for _, id := range ids {
+			want, _ := e.auth.Metrics(id)
+			got, ok := st.table.Metrics(id)
+			if !ok {
+				return fmt.Errorf("engine: replica state %d missing id %d", sti, id)
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					return fmt.Errorf("engine: replica state %d id %d metric %d = %d, authority has %d",
+						sti, id, j, got[j], want[j])
+				}
+			}
+		}
+	}
+	return nil
+}

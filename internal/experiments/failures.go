@@ -1,0 +1,389 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/experiments/runner"
+	"repro/internal/fault"
+	"repro/internal/netsim"
+	"repro/internal/netsim/topology"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// This file is the failure-sweep half of the graceful-degradation work: the
+// Figure 17/18 topologies run under injected link and switch failures, with
+// a deliberately imperfect control plane (detection latency, lossy/delayed
+// update delivery, periodic reconciliation) steering traffic around the
+// fault. The sweep compares each policy's FCT against its own fault-free
+// baseline, so the question answered is "how gracefully does this policy
+// degrade", not "which policy is fastest".
+
+// FailureScenario selects which element of the Clos fails mid-run.
+type FailureScenario int
+
+const (
+	// FailSpine fails a whole spine switch: in-flight packets blackhole,
+	// every leaf loses one uplink, and recovery restores all of them.
+	FailSpine FailureScenario = iota
+	// FailLeafUplink fails a single leaf↔spine link: only that leaf loses
+	// the path outbound, and traffic into the leaf through that spine
+	// blackholes until recovery (remote leaves' per-spine policies are
+	// destination-agnostic, so they cannot steer around it — a real
+	// limitation of per-leaf tables the experiment makes visible).
+	FailLeafUplink
+)
+
+func (s FailureScenario) String() string {
+	switch s {
+	case FailSpine:
+		return "spine-failure"
+	case FailLeafUplink:
+		return "leaf-uplink-failure"
+	}
+	return fmt.Sprintf("FailureScenario(%d)", int(s))
+}
+
+// FailureConfig shapes one failure experiment: the underlying network, the
+// scenario, its timing, and the control-plane imperfections.
+type FailureConfig struct {
+	Net      NetConfig
+	Scenario FailureScenario
+	Spine    int // failing spine (both scenarios)
+	Leaf     int // leaf losing its uplink (FailLeafUplink only)
+
+	FailAt    sim.Time // when the fault strikes
+	RecoverAt sim.Time // when it heals
+
+	// DetectDelay is the control plane's failure-detection latency: the
+	// time between a state change and the (attempted) push of new routing
+	// views to the leaves.
+	DetectDelay sim.Time
+	// SyncInterval re-pushes the current view to every leaf periodically,
+	// healing updates the lossy channel dropped. Zero disables it.
+	SyncInterval sim.Time
+	// UpdateDropProb and UpdateMaxDelay parameterize the fault.ControlChannel
+	// every view push travels through.
+	UpdateDropProb float64
+	UpdateMaxDelay sim.Time
+}
+
+// DefaultFailureConfig returns a spine-failure scenario sized for the
+// default network: the fault strikes early, lasts long enough that most of
+// the run is degraded, and the control plane is mildly lossy.
+func DefaultFailureConfig(seed int64) FailureConfig {
+	return FailureConfig{
+		Net:            DefaultNetConfig(seed),
+		Scenario:       FailSpine,
+		Spine:          0,
+		FailAt:         2 * sim.Millisecond,
+		RecoverAt:      30 * sim.Millisecond,
+		DetectDelay:    100 * sim.Microsecond,
+		SyncInterval:   5 * sim.Millisecond,
+		UpdateDropProb: 0.05,
+		UpdateMaxDelay: 200 * sim.Microsecond,
+	}
+}
+
+// Validate sanity-checks the scenario against the network shape.
+func (c FailureConfig) Validate() error {
+	if err := c.Net.Validate(); err != nil {
+		return err
+	}
+	if c.Spine < 0 || c.Spine >= c.Net.Spines {
+		return fmt.Errorf("experiments: spine %d out of range [0,%d)", c.Spine, c.Net.Spines)
+	}
+	if c.Scenario == FailLeafUplink && (c.Leaf < 0 || c.Leaf >= c.Net.Leaves) {
+		return fmt.Errorf("experiments: leaf %d out of range [0,%d)", c.Leaf, c.Net.Leaves)
+	}
+	if c.FailAt <= 0 || c.RecoverAt <= c.FailAt {
+		return fmt.Errorf("experiments: need 0 < FailAt < RecoverAt")
+	}
+	if c.UpdateDropProb < 0 || c.UpdateDropProb >= 1 {
+		return fmt.Errorf("experiments: UpdateDropProb must be in [0,1)")
+	}
+	if c.DetectDelay < 0 || c.UpdateMaxDelay < 0 || c.SyncInterval < 0 {
+		return fmt.Errorf("experiments: negative control-plane latency")
+	}
+	return nil
+}
+
+// failureTarget is what the failure control plane needs from a built
+// network; routingNet (Figure 17) and portNet (Figure 18) both provide it.
+type failureTarget interface {
+	network() *netsim.Network
+	clos() *topology.Clos
+	// setSpineDead applies the control plane's per-leaf view and returns
+	// how many pinned flows were rerouted off the dead path.
+	setSpineDead(leaf, spine int, dead bool) int
+}
+
+func (rn *routingNet) network() *netsim.Network { return rn.Net }
+func (rn *routingNet) clos() *topology.Clos     { return rn.Clos }
+func (pn *portNet) network() *netsim.Network    { return pn.Net }
+func (pn *portNet) clos() *topology.Clos        { return pn.Clos }
+
+// FailureProbe exposes the fault-injection and control-plane counters of a
+// failure run: what was injected, what the lossy channel did to the
+// repair updates, and how much rerouting the repairs caused.
+type FailureProbe struct {
+	Injector *fault.Injector
+	Control  *fault.ControlChannel
+
+	net        *netsim.Network
+	reroutes   uint64
+	detections uint64
+	syncs      uint64
+}
+
+// Reroutes returns pinned flows moved off a path the control plane marked
+// dead.
+func (p *FailureProbe) Reroutes() uint64 { return p.reroutes }
+
+// Detections returns fault/recovery state changes the control plane
+// noticed (after its detection delay).
+func (p *FailureProbe) Detections() uint64 { return p.detections }
+
+// Syncs returns periodic reconciliation rounds performed.
+func (p *FailureProbe) Syncs() uint64 { return p.syncs }
+
+// FaultDrops returns packets lost to the injected faults themselves.
+func (p *FailureProbe) FaultDrops() uint64 { return p.net.FaultDrops() }
+
+// RegisterTelemetry exposes the probe's counters as scrape-time gauges,
+// alongside Network.RegisterTelemetry's packet-level series.
+func (p *FailureProbe) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	reg.NewGaugeFunc(prefix+"_faults_injected_total", "fault events fired by the injector",
+		func() int64 { return int64(p.Injector.Counts().Injected) })
+	reg.NewGaugeFunc(prefix+"_faults_recovered_total", "recovery events fired by the injector",
+		func() int64 { return int64(p.Injector.Counts().Recovered) })
+	reg.NewGaugeFunc(prefix+"_ctrl_updates_delivered_total", "control-plane view pushes applied",
+		func() int64 { return int64(p.Control.Delivered()) })
+	reg.NewGaugeFunc(prefix+"_ctrl_updates_dropped_total", "control-plane view pushes lost in the channel",
+		func() int64 { return int64(p.Control.Dropped()) })
+	reg.NewGaugeFunc(prefix+"_ctrl_updates_delayed_total", "control-plane view pushes deferred by the channel",
+		func() int64 { return int64(p.Control.Delayed()) })
+	reg.NewGaugeFunc(prefix+"_reroutes_total", "pinned flows moved off dead paths",
+		func() int64 { return int64(p.reroutes) })
+	reg.NewGaugeFunc(prefix+"_fault_detections_total", "fault state changes the control plane detected",
+		func() int64 { return int64(p.detections) })
+	reg.NewGaugeFunc(prefix+"_ctrl_syncs_total", "periodic reconciliation rounds",
+		func() int64 { return int64(p.syncs) })
+}
+
+// armFailure wires the scenario onto a built network: the injector flips
+// the physical state at FailAt/RecoverAt, and a model control plane
+// detects each flip after DetectDelay, pushes per-leaf views through the
+// lossy channel, and reconciles every SyncInterval.
+func armFailure(t failureTarget, cfg FailureConfig) (*FailureProbe, error) {
+	net, clos := t.network(), t.clos()
+	sched := net.Sched
+	probe := &FailureProbe{
+		Injector: fault.NewInjector(sched),
+		Control:  fault.NewControlChannel(sched, sched.Rand(), cfg.UpdateDropProb, cfg.UpdateMaxDelay),
+		net:      net,
+	}
+	spineID := cfg.Net.Leaves + cfg.Spine // switches are added leaves-first
+
+	// truth is the control plane's detected state; pushes deliver copies of
+	// it so a delayed update applies the view from its send time.
+	truth := make([][]bool, cfg.Net.Leaves)
+	for l := range truth {
+		truth[l] = make([]bool, cfg.Net.Spines)
+	}
+	push := func(l int) {
+		view := make([]bool, len(truth[l]))
+		copy(view, truth[l])
+		probe.Control.Deliver(func() {
+			for s, dead := range view {
+				probe.reroutes += uint64(t.setSpineDead(l, s, dead))
+			}
+		})
+	}
+	detect := func(apply func()) {
+		sched.After(cfg.DetectDelay, func() {
+			probe.detections++
+			apply()
+			for l := 0; l < cfg.Net.Leaves; l++ {
+				push(l)
+			}
+		})
+	}
+
+	var plan fault.Plan
+	var hooks fault.Hooks
+	switch cfg.Scenario {
+	case FailSpine:
+		plan = fault.Plan{
+			{At: cfg.FailAt, Kind: fault.SwitchFail, Switch: spineID},
+			{At: cfg.RecoverAt, Kind: fault.SwitchRecover, Switch: spineID},
+		}
+		hooks.Switch = func(id int, failed bool) {
+			net.Switches[id].SetFailed(failed)
+			detect(func() {
+				for l := range truth {
+					truth[l][cfg.Spine] = failed
+				}
+			})
+		}
+	case FailLeafUplink:
+		link := fault.Link{Switch: cfg.Leaf, Port: clos.UplinkPort(cfg.Spine)}
+		plan = fault.Plan{
+			{At: cfg.FailAt, Kind: fault.LinkDown, Link: link},
+			{At: cfg.RecoverAt, Kind: fault.LinkUp, Link: link},
+		}
+		hooks.Link = func(l fault.Link, down bool) {
+			net.Switches[l.Switch].Port(l.Port).SetLinkDown(down)
+			detect(func() { truth[cfg.Leaf][cfg.Spine] = down })
+		}
+	default:
+		return nil, fmt.Errorf("experiments: unknown scenario %v", cfg.Scenario)
+	}
+	probe.Injector.Arm(plan, hooks)
+
+	if cfg.SyncInterval > 0 {
+		var tick func()
+		tick = func() {
+			probe.syncs++
+			for l := 0; l < cfg.Net.Leaves; l++ {
+				push(l)
+			}
+			sched.After(cfg.SyncInterval, tick)
+		}
+		sched.After(cfg.SyncInterval, tick)
+	}
+	return probe, nil
+}
+
+// BuildRoutingFailure builds a Figure-17 routing network with the failure
+// scenario armed, for external drivers such as cmd/netsim.
+func BuildRoutingFailure(cfg FailureConfig, pol RoutingPolicy) (*netsim.Network, *FailureProbe, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rn, err := buildRoutingNet(cfg.Net, pol)
+	if err != nil {
+		return nil, nil, err
+	}
+	probe, err := armFailure(rn, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rn.Net, probe, nil
+}
+
+// BuildPortLBFailure builds a Figure-18 port-LB network with the failure
+// scenario armed.
+func BuildPortLBFailure(cfg FailureConfig, pol PortPolicy) (*netsim.Network, *FailureProbe, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	pn, err := buildPortLBNet(cfg.Net, pol, cfg.Net.DrillD, cfg.Net.DrillM)
+	if err != nil {
+		return nil, nil, err
+	}
+	probe, err := armFailure(pn, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pn.Net, probe, nil
+}
+
+// FailureResult is one failure sweep: per routing policy, the fault-free
+// baseline FCT, the FCT under the scenario, and the degradation ratio,
+// plus the fault/control-plane counters of the faulted run.
+type FailureResult struct {
+	Scenario      FailureScenario
+	Load          float64
+	Policies      []RoutingPolicy
+	BaselineFCTUs []float64
+	FaultedFCTUs  []float64
+	Degradation   []float64 // faulted / baseline, per policy
+	Reroutes      []uint64
+	CtrlDropped   []uint64
+	FaultDrops    []uint64
+}
+
+func (r FailureResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Failure sweep: %v at load %.0f%%: FCT degradation vs own fault-free baseline ==\n",
+		r.Scenario, r.Load*100)
+	fmt.Fprintf(&b, "%-18s %12s %12s %8s %9s %9s %11s\n",
+		"policy", "baseline µs", "faulted µs", "ratio", "reroutes", "ctrl-drop", "fault-drops")
+	for i, p := range r.Policies {
+		fmt.Fprintf(&b, "%-18s %12.0f %12.0f %8.2f %9d %9d %11d\n",
+			p, r.BaselineFCTUs[i], r.FaultedFCTUs[i], r.Degradation[i],
+			r.Reroutes[i], r.CtrlDropped[i], r.FaultDrops[i])
+	}
+	return b.String()
+}
+
+// failurePoint is one grid cell of the sweep.
+type failurePoint struct {
+	fct        float64
+	reroutes   uint64
+	ctrlDrop   uint64
+	faultDrops uint64
+}
+
+// FailureSweep runs the three routing policies with and without the
+// scenario at one load and reports each policy's degradation, serially.
+// FailureSweepWith fans the grid across a worker pool.
+func FailureSweep(cfg FailureConfig, load float64) (FailureResult, error) {
+	return FailureSweepWith(cfg, load, runner.Serial())
+}
+
+// FailureSweepWith is FailureSweep with the (policy, faulted?) grid fanned
+// across the pool's workers. Every cell owns its network, scheduler, and
+// RNGs, so results are bit-identical to the serial run.
+func FailureSweepWith(cfg FailureConfig, load float64, pool runner.Pool) (FailureResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return FailureResult{}, err
+	}
+	pols := []RoutingPolicy{RouteECMP, RouteMinUtil, RouteMultiDim}
+	res := FailureResult{Scenario: cfg.Scenario, Load: load, Policies: pols}
+	grid, err := runner.Map(pool, 2*len(pols), func(i int) (failurePoint, error) {
+		pol, faulted := pols[i/2], i%2 == 1
+		var (
+			net   *netsim.Network
+			probe *FailureProbe
+			err   error
+		)
+		if faulted {
+			net, probe, err = BuildRoutingFailure(cfg, pol)
+		} else {
+			net, err = buildRoutingNetwork(cfg.Net, pol)
+		}
+		if err != nil {
+			return failurePoint{}, fmt.Errorf("%s faulted=%v: %w", pol, faulted, err)
+		}
+		if _, err := offerTraffic(cfg.Net, net, load); err != nil {
+			return failurePoint{}, err
+		}
+		fct, err := meanFCT(cfg.Net, net)
+		if err != nil {
+			return failurePoint{}, fmt.Errorf("%s faulted=%v: %w", pol, faulted, err)
+		}
+		pt := failurePoint{fct: fct}
+		if probe != nil {
+			pt.reroutes = probe.Reroutes()
+			pt.ctrlDrop = probe.Control.Dropped()
+			pt.faultDrops = probe.FaultDrops()
+		}
+		return pt, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for pi := range pols {
+		base, faulted := grid[2*pi], grid[2*pi+1]
+		res.BaselineFCTUs = append(res.BaselineFCTUs, base.fct)
+		res.FaultedFCTUs = append(res.FaultedFCTUs, faulted.fct)
+		res.Degradation = append(res.Degradation, faulted.fct/base.fct)
+		res.Reroutes = append(res.Reroutes, faulted.reroutes)
+		res.CtrlDropped = append(res.CtrlDropped, faulted.ctrlDrop)
+		res.FaultDrops = append(res.FaultDrops, faulted.faultDrops)
+	}
+	return res, nil
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/experiments/runner"
+	"repro/internal/sim"
+)
+
+// smallFailureConfig shrinks the default scenario so a sweep cell finishes
+// in well under a second.
+func smallFailureConfig(seed int64) FailureConfig {
+	cfg := DefaultFailureConfig(seed)
+	cfg.Net.Leaves = 3
+	cfg.Net.Spines = 2
+	cfg.Net.HostsPerLeaf = 3
+	cfg.Net.Flows = 80
+	cfg.FailAt = 1 * sim.Millisecond
+	cfg.RecoverAt = 10 * sim.Millisecond
+	return cfg
+}
+
+func TestFailureConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*FailureConfig)
+	}{
+		{"spine out of range", func(c *FailureConfig) { c.Spine = c.Net.Spines }},
+		{"leaf out of range", func(c *FailureConfig) { c.Scenario = FailLeafUplink; c.Leaf = -1 }},
+		{"recover before fail", func(c *FailureConfig) { c.RecoverAt = c.FailAt }},
+		{"drop prob 1", func(c *FailureConfig) { c.UpdateDropProb = 1 }},
+		{"negative detect delay", func(c *FailureConfig) { c.DetectDelay = -1 }},
+	}
+	for _, tc := range cases {
+		cfg := smallFailureConfig(1)
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate() accepted invalid config", tc.name)
+		}
+	}
+	if err := smallFailureConfig(1).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+// TestFailureSweepSpineDegradesButServes: under a spine failure every
+// policy still completes all flows (the control plane steers around the
+// dead spine), the fault is visible in the counters, and policy leaves
+// actively reroute pinned flows.
+func TestFailureSweepSpineDegradesButServes(t *testing.T) {
+	cfg := smallFailureConfig(7)
+	res, err := FailureSweep(cfg, 0.5)
+	if err != nil {
+		t.Fatalf("FailureSweep: %v", err)
+	}
+	for i, p := range res.Policies {
+		if res.BaselineFCTUs[i] <= 0 || res.FaultedFCTUs[i] <= 0 {
+			t.Fatalf("%s: non-positive FCT (baseline %f, faulted %f)",
+				p, res.BaselineFCTUs[i], res.FaultedFCTUs[i])
+		}
+		if res.FaultDrops[i] == 0 {
+			t.Errorf("%s: faulted run recorded no fault drops", p)
+		}
+	}
+	// The policy-driven leaves pin flows to paths; killing a spine must
+	// reroute at least one pin somewhere across the policies.
+	var reroutes uint64
+	for i, p := range res.Policies {
+		if p == RouteECMP {
+			if res.Reroutes[i] != 0 {
+				t.Errorf("ECMP pins no flows but recorded %d reroutes", res.Reroutes[i])
+			}
+			continue
+		}
+		reroutes += res.Reroutes[i]
+	}
+	if reroutes == 0 {
+		t.Error("no pinned flows rerouted off the failed spine")
+	}
+}
+
+// TestFailureSweepLeafUplink exercises the link-failure scenario end to
+// end: flows complete despite one leaf losing an uplink for most of the
+// early run.
+func TestFailureSweepLeafUplink(t *testing.T) {
+	cfg := smallFailureConfig(11)
+	cfg.Scenario = FailLeafUplink
+	cfg.Leaf = 1
+	res, err := FailureSweep(cfg, 0.4)
+	if err != nil {
+		t.Fatalf("FailureSweep: %v", err)
+	}
+	for i, p := range res.Policies {
+		if res.FaultedFCTUs[i] <= 0 {
+			t.Fatalf("%s: non-positive faulted FCT", p)
+		}
+		if res.FaultDrops[i] == 0 {
+			t.Errorf("%s: faulted run recorded no fault drops", p)
+		}
+	}
+}
+
+// TestFailureSweepParallelMatchesSerial is the sweep half of the
+// determinism satellite: fanning the failure grid across workers must be
+// bit-identical to the serial run.
+func TestFailureSweepParallelMatchesSerial(t *testing.T) {
+	cfg := smallFailureConfig(3)
+	serial, err := FailureSweepWith(cfg, 0.5, runner.Serial())
+	if err != nil {
+		t.Fatalf("serial sweep: %v", err)
+	}
+	par, err := FailureSweepWith(cfg, 0.5, runner.NewPool())
+	if err != nil {
+		t.Fatalf("parallel sweep: %v", err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("parallel sweep diverged from serial:\n%v\nvs\n%v", serial, par)
+	}
+}
+
+// TestPortLBFailureServes: the per-packet policies survive a spine failure
+// too — the dead uplink's drained queue must not attract the spray.
+func TestPortLBFailureServes(t *testing.T) {
+	cfg := smallFailureConfig(5)
+	net, probe, err := BuildPortLBFailure(cfg, PortMinQueue)
+	if err != nil {
+		t.Fatalf("BuildPortLBFailure: %v", err)
+	}
+	if _, err := offerTraffic(cfg.Net, net, 0.4); err != nil {
+		t.Fatalf("offerTraffic: %v", err)
+	}
+	if _, err := meanFCT(cfg.Net, net); err != nil {
+		t.Fatalf("flows did not complete under spine failure: %v", err)
+	}
+	if c := probe.Injector.Counts(); c.Injected != 1 || c.Recovered != 1 {
+		t.Fatalf("injector counts = %+v, want one fault and one recovery", c)
+	}
+	if probe.Detections() != 2 {
+		t.Fatalf("control plane detected %d state changes, want 2", probe.Detections())
+	}
+	if probe.FaultDrops() == 0 {
+		t.Error("no fault drops recorded for a failed spine")
+	}
+}

@@ -1,0 +1,72 @@
+package fault
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// ControlChannel models the lossy, laggy path between the control plane and
+// the data plane: each Deliver may drop the update outright or defer it by
+// a uniformly random delay. All randomness comes from the channel's own
+// *rand.Rand (hand it sim.Scheduler.Rand() for seed-determinism), and all
+// deferral runs on the simulation clock, so a seeded run replays the exact
+// same loss/delay pattern.
+//
+// The zero drop-probability, zero max-delay channel is a transparent
+// pass-through, so call sites can route every update through a channel and
+// let the experiment config decide whether the control plane is degraded.
+type ControlChannel struct {
+	sched *sim.Scheduler
+	r     *rand.Rand
+
+	// DropProb is the probability in [0,1] that an update is lost.
+	DropProb float64
+	// MaxDelay is the upper bound of the uniform delivery delay; zero means
+	// deliver synchronously.
+	MaxDelay sim.Time
+
+	delivered uint64
+	dropped   uint64
+	delayed   uint64
+}
+
+// NewControlChannel creates a channel driven by sched's clock and r's
+// randomness.
+func NewControlChannel(sched *sim.Scheduler, r *rand.Rand, dropProb float64, maxDelay sim.Time) *ControlChannel {
+	return &ControlChannel{sched: sched, r: r, DropProb: dropProb, MaxDelay: maxDelay}
+}
+
+// Deliver routes one control-plane update through the channel: it is either
+// dropped (fn never runs), delayed (fn runs later on the simulation clock),
+// or applied immediately. Callers must not capture loop variables by
+// reference in fn if the delivery may be deferred.
+func (c *ControlChannel) Deliver(fn func()) {
+	if c.DropProb > 0 && c.r.Float64() < c.DropProb {
+		c.dropped++
+		return
+	}
+	if c.MaxDelay > 0 {
+		if d := sim.Time(c.r.Int63n(int64(c.MaxDelay) + 1)); d > 0 {
+			c.delayed++
+			c.sched.After(d, func() {
+				c.delivered++
+				fn()
+			})
+			return
+		}
+	}
+	c.delivered++
+	fn()
+}
+
+// Delivered returns updates that have actually run (immediate or after
+// their delay elapsed).
+func (c *ControlChannel) Delivered() uint64 { return c.delivered }
+
+// Dropped returns updates lost in the channel.
+func (c *ControlChannel) Dropped() uint64 { return c.dropped }
+
+// Delayed returns updates that were deferred rather than applied
+// synchronously (a subset of these may still be pending).
+func (c *ControlChannel) Delayed() uint64 { return c.delayed }

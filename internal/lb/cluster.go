@@ -29,6 +29,11 @@ type ClusterConfig struct {
 	// runs the same policy); this exercises the multi-pipeline deployment
 	// of §5.1.5 inside the experiment.
 	EngineShards int
+	// WrapBackend, when set, wraps the placement backend before the control
+	// updater is layered on top — the fault-injection seam: tests and
+	// failure experiments interpose backends that refuse updates or
+	// decisions, and the run must degrade rather than panic.
+	WrapBackend func(Backend) Backend
 }
 
 // DefaultClusterConfig mirrors the paper's setup: four servers (hosts 5–8
@@ -67,25 +72,45 @@ func (c ClusterConfig) Validate() error {
 }
 
 // newClusterBalancer builds the run's balancer: module-backed by default,
-// engine-backed when cfg.EngineShards is positive.
-func newClusterBalancer(cfg ClusterConfig, policySrc string) (*Balancer, error) {
-	if cfg.EngineShards <= 0 {
-		return NewBalancer(cfg.Servers, cfg.ConnCapacity, policySrc)
-	}
+// engine-backed when cfg.EngineShards is positive. The backend — wrapped by
+// cfg.WrapBackend if set — sits behind a ControlUpdater, so refused table
+// updates are retried with backoff instead of failing the probe loop; on a
+// healthy backend the updater is a transparent pass-through.
+func newClusterBalancer(cfg ClusterConfig, policySrc string, sched *sim.Scheduler) (*Balancer, *ControlUpdater, error) {
 	pol, err := policy.Parse(policySrc)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	eng, err := engine.New(engine.Config{
-		Shards:   cfg.EngineShards,
-		Capacity: cfg.Servers,
-		Schema:   Schema,
-		Policy:   pol,
-	})
+	var backend Backend
+	var mod *policy.Module
+	if cfg.EngineShards <= 0 {
+		mod, err = policy.NewModule(cfg.Servers, Schema, pol)
+		if err != nil {
+			return nil, nil, err
+		}
+		backend = mod
+	} else {
+		eng, err := engine.New(engine.Config{
+			Shards:   cfg.EngineShards,
+			Capacity: cfg.Servers,
+			Schema:   Schema,
+			Policy:   pol,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		backend = eng
+	}
+	if cfg.WrapBackend != nil {
+		backend = cfg.WrapBackend(backend)
+	}
+	upd := NewControlUpdater(sched, backend)
+	bal, err := NewBalancerWithBackend(upd, cfg.ConnCapacity)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return NewBalancerWithBackend(eng, cfg.ConnCapacity)
+	bal.module = mod
+	return bal, upd, nil
 }
 
 // kindFrac maps a query kind to a deterministic pseudo-uniform value in
@@ -95,9 +120,26 @@ func kindFrac(kind int) float64 {
 	return x - float64(int(x))
 }
 
-// Result collects the completed queries of one run in arrival order.
+// Result collects the completed queries of one run in arrival order, plus
+// the control-plane health counters of the run — all zero on a healthy
+// cluster.
 type Result struct {
 	Queries []*Query
+
+	// ProbeErrors counts resource probes the parser rejected.
+	ProbeErrors uint64
+	// PlacementRetries counts deferred re-attempts after Place failed;
+	// PlacementFailures counts queries abandoned after the last attempt
+	// (their Server is -2 and their response time excludes the server RTT).
+	PlacementRetries  uint64
+	PlacementFailures uint64
+	// ReleaseErrors counts connection-table removals that failed.
+	ReleaseErrors uint64
+	// Control-updater delivery counters (see ControlUpdater).
+	CtrlApplied uint64
+	CtrlRetries uint64
+	CtrlDropped uint64
+	CtrlStale   uint64
 }
 
 // ResponseTimesUs returns per-query response times in microseconds,
@@ -109,7 +151,7 @@ func (r *Result) ResponseTimesUs(netRTTUs float64) []float64 {
 	out := make([]float64, len(r.Queries))
 	for i, q := range r.Queries {
 		out[i] = float64(q.Done-q.Arrive) / float64(sim.Microsecond)
-		if q.Server != -1 {
+		if q.Server >= 0 {
 			out[i] += netRTTUs
 		}
 	}
@@ -159,19 +201,22 @@ func RunIntercepted(cfg ClusterConfig, policySrc string, numQueries int, interce
 		servers[i] = &Server{id: i, cfg: cfg.ServerCfg, trace: trace, sched: sched}
 	}
 
-	bal, err := newClusterBalancer(cfg, policySrc)
+	bal, upd, err := newClusterBalancer(cfg, policySrc, sched)
 	if err != nil {
 		return nil, err
 	}
 	defer bal.Close()
 
+	res := &Result{Queries: make([]*Query, 0, numQueries)}
+
 	// Prime the resource table with initial probes so the first placement
-	// has data.
+	// has data. A rejected probe is counted, not fatal: the next interval
+	// refreshes the same row, so the table is at worst one period stale.
 	probeAll := func() {
 		for _, sv := range servers {
 			cpu, mem, bw := sv.CurrentResources()
 			if err := bal.HandleProbe(MakeProbe(sv.id, cpu, mem, bw)); err != nil {
-				panic(err) // probes are well-formed by construction
+				res.ProbeErrors++
 			}
 		}
 	}
@@ -196,8 +241,38 @@ func RunIntercepted(cfg ClusterConfig, policySrc string, numQueries int, interce
 	// Query workload: deterministic kinds, demands and arrival times.
 	kinds, _ := workload.NewQueryStream(cfg.Seed+7, cfg.QueryKinds, cfg.ZipfS)
 	wrand := sim.New(cfg.Seed + 13).Rand() // workload-only RNG
-	res := &Result{Queries: make([]*Query, 0, numQueries)}
 	remaining := numQueries
+
+	finish := func(q *Query) {
+		res.Queries = append(res.Queries, q)
+		remaining--
+		if remaining == 0 {
+			sched.Stop()
+		}
+	}
+
+	// place routes a query to a server, retrying with doubling delays when
+	// the balancer cannot decide (empty table, full connection table, a
+	// degraded backend). A query still unplaceable after the last attempt is
+	// failed at the switch (Server -2) rather than wedging the run.
+	const placeMaxAttempts = 4
+	var place func(q *Query, attempt int, delay sim.Time)
+	place = func(q *Query, attempt int, delay sim.Time) {
+		server, err := bal.Place(q.ID)
+		if err == nil {
+			servers[server].Submit(q)
+			return
+		}
+		if attempt >= placeMaxAttempts {
+			res.PlacementFailures++
+			q.Server = -2
+			q.Done = sched.Now()
+			finish(q)
+			return
+		}
+		res.PlacementRetries++
+		sched.After(delay, func() { place(q, attempt+1, delay*2) })
+	}
 
 	at := sim.Time(0)
 	for i := 0; i < numQueries; i++ {
@@ -215,13 +290,9 @@ func RunIntercepted(cfg ClusterConfig, policySrc string, numQueries int, interce
 		}
 		q.finished = func(q *Query) {
 			if err := bal.Release(q.ID); err != nil {
-				panic(err)
+				res.ReleaseErrors++ // entry leaks until capacity pressure; not fatal
 			}
-			res.Queries = append(res.Queries, q)
-			remaining--
-			if remaining == 0 {
-				sched.Stop()
-			}
+			finish(q)
 		}
 		arrive := at
 		sched.At(arrive, func() {
@@ -233,25 +304,19 @@ func RunIntercepted(cfg ClusterConfig, policySrc string, numQueries int, interce
 					q.Server = -1
 					sched.After(sim.Time(respUs*float64(sim.Microsecond)), func() {
 						q.Done = sched.Now()
-						res.Queries = append(res.Queries, q)
-						remaining--
-						if remaining == 0 {
-							sched.Stop()
-						}
+						finish(q)
 					})
 					return
 				}
 			}
-			server, err := bal.Place(q.ID)
-			if err != nil {
-				panic(err)
-			}
-			servers[server].Submit(q)
+			place(q, 1, 200*sim.Microsecond)
 		})
 		at += sim.Time(cfg.MeanGapUs * wrand.ExpFloat64() * float64(sim.Microsecond))
 	}
 
 	sched.Run()
+	res.CtrlApplied, res.CtrlRetries = upd.Applied(), upd.Retries()
+	res.CtrlDropped, res.CtrlStale = upd.Dropped(), upd.Stale()
 	if remaining != 0 {
 		return nil, fmt.Errorf("lb: %d queries unfinished", remaining)
 	}

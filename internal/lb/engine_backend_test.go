@@ -2,6 +2,8 @@ package lb
 
 import (
 	"testing"
+
+	"repro/internal/sim"
 )
 
 // TestClusterRunWithEngineBackend runs the §7.2.2 cluster simulation with
@@ -35,7 +37,7 @@ func TestClusterRunWithEngineBackend(t *testing.T) {
 func TestBalancerWithEngineBackendAffinity(t *testing.T) {
 	cfg := DefaultClusterConfig(1)
 	cfg.EngineShards = 2
-	bal, err := newClusterBalancer(cfg, PolicyResourceAware)
+	bal, _, err := newClusterBalancer(cfg, PolicyResourceAware, sim.New(cfg.Seed))
 	if err != nil {
 		t.Fatal(err)
 	}

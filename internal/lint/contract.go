@@ -33,6 +33,7 @@ func DefaultConfig() Config {
 			"repro/internal/sim",
 			"repro/internal/engine",
 			"repro/internal/experiments",
+			"repro/internal/fault",
 			"repro/internal/smbm",
 			"repro/internal/filter",
 			"repro/internal/pipeline",
@@ -42,11 +43,13 @@ func DefaultConfig() Config {
 		Snapshot: SnapshotConfig{
 			Pkg:        "repro/internal/engine",
 			Types:      []string{"snapshot"},
-			AllowFuncs: []string{"New", "apply"},
+			AllowFuncs: []string{"New", "apply", "applyShard", "resyncShard"},
 			StoreFields: map[string][]string{
-				// active is the epoch publish pointer: only construction and
-				// the writer-side swap may store it.
-				"active": {"New", "apply"},
+				// active is the epoch publish pointer: only construction, the
+				// writer-side swap (applyShard, which also serves the
+				// CorruptReplica fault hook), and the quarantine-recovery
+				// rebuild may store it.
+				"active": {"New", "applyShard", "resyncShard"},
 				// inUse is the reader's epoch pin: only the shard reader's
 				// execution function may store it.
 				"inUse": {"process"},

@@ -18,7 +18,19 @@ type Host struct {
 
 	senders   map[int64]*senderState
 	receivers map[int64]*receiverState
+
+	rtoRetx  uint64 // go-back-N retransmission timeouts fired
+	fastRetx uint64 // fast retransmits triggered by duplicate ACKs
 }
+
+// Retransmits returns the host's cumulative retransmission counts: RTO
+// firings (each re-sends the window go-back-N) and fast retransmits. The
+// RTO regression tests use these to prove a completed flow's pending timer
+// never fires a spurious retransmit.
+func (h *Host) Retransmits() (rto, fast uint64) { return h.rtoRetx, h.fastRetx }
+
+// ActiveSenders returns the number of flows this host is still sending.
+func (h *Host) ActiveSenders() int { return len(h.senders) }
 
 type senderState struct {
 	flowID    int64
@@ -103,6 +115,20 @@ func (h *Host) sendData(st *senderState, seq int) {
 	})
 }
 
+// armTimer (re)arms the flow's retransmission timeout. The generation
+// counter is the guard against spurious retransmits: every arm bumps
+// timerGen and captures it, and the callback no-ops unless its generation
+// is still current. The two ways a pending callback is invalidated:
+//
+//   - Completion: the final cumulative ACK deletes the flow from h.senders,
+//     so the lookup fails (flow ids are globally unique and never reused,
+//     so a new flow can never alias a stale callback's lookup).
+//   - Progress: every ACK advance and every fast retransmit re-arms, so an
+//     older generation's callback finds timerGen ahead of its capture.
+//
+// Together these guarantee a flow that completes (or fast-retransmits)
+// just before its RTO expires never go-back-N-retransmits spuriously;
+// TestHostNoSpuriousRTOAfterCompletion pins this.
 func (h *Host) armTimer(st *senderState) {
 	st.timerGen++
 	gen := st.timerGen
@@ -111,6 +137,7 @@ func (h *Host) armTimer(st *senderState) {
 		if !ok || cur.timerGen != gen {
 			return // completed or superseded
 		}
+		h.rtoRetx++
 		// Timeout: multiplicative decrease and go-back-N.
 		cur.ssthresh = cur.cwnd / 2
 		if cur.ssthresh < 2 {
@@ -185,6 +212,7 @@ func (h *Host) handleAck(pkt *Packet) {
 			st.ssthresh = 2
 		}
 		st.cwnd = st.ssthresh
+		h.fastRetx++
 		h.sendData(st, st.cumAck)
 		h.armTimer(st)
 	}

@@ -96,9 +96,11 @@ type Port struct {
 
 	queue      []*Packet
 	busy       bool
+	down       bool // link fault: transmitter refuses traffic
 	sentBytes  uint64
 	sentPkts   uint64
 	dropPkts   uint64
+	faultPkts  uint64 // packets dropped because the link was down
 	totalQueue uint64 // for mean-occupancy accounting
 
 	// Metric snapshots refreshed by the owner switch.
@@ -125,6 +127,48 @@ func (p *Port) QueueLen() int {
 // Drops returns the cumulative packets dropped at this port.
 func (p *Port) Drops() uint64 { return p.dropPkts }
 
+// FaultDrops returns the packets dropped because the link was down, a
+// subset of Drops.
+func (p *Port) FaultDrops() uint64 { return p.faultPkts }
+
+// Down reports whether this direction of the link is faulted.
+func (p *Port) Down() bool { return p.down }
+
+// SetDown fails (true) or restores (false) this direction of the link. A
+// downed transmitter drops every packet handed to it, including whatever was
+// queued at the instant of failure — a dead link loses its buffer. The
+// packet currently being serialized is already "on the wire" and still
+// delivers. Restoring the link resumes normal service; in-flight traffic is
+// unaffected throughout.
+func (p *Port) SetDown(down bool) {
+	if p.down == down {
+		return
+	}
+	p.down = down
+	if !down {
+		return
+	}
+	n := uint64(len(p.queue))
+	p.dropPkts += n
+	p.faultPkts += n
+	for i := range p.queue {
+		if p.OnDequeue != nil {
+			p.OnDequeue() // keep the event-driven queue tracker consistent
+		}
+		p.queue[i] = nil
+	}
+	p.queue = p.queue[:0]
+}
+
+// SetLinkDown fails or restores the whole duplex link: this port and its
+// peer, both directions.
+func (p *Port) SetLinkDown(down bool) {
+	p.SetDown(down)
+	if p.peer != nil {
+		p.peer.SetDown(down)
+	}
+}
+
 // SentBytes returns the cumulative bytes transmitted.
 func (p *Port) SentBytes() uint64 { return p.sentBytes }
 
@@ -136,9 +180,14 @@ func (p *Port) UtilEWMA() float64 { return p.utilEWMA }
 // refresh.
 func (p *Port) LossEWMA() float64 { return p.lossEWMA }
 
-// Send enqueues a packet for transmission, dropping it if the queue is
-// full (drop-tail).
+// Send enqueues a packet for transmission, dropping it if the link is down
+// or the queue is full (drop-tail).
 func (p *Port) Send(pkt *Packet) {
+	if p.down {
+		p.dropPkts++
+		p.faultPkts++
+		return
+	}
 	if p.QueueLen() >= p.net.cfg.QueuePkts {
 		p.dropPkts++
 		return

@@ -90,6 +90,25 @@ func (r *PathRouter) forward(pkt *Packet) int {
 	return port
 }
 
+// Invalidate unpins every flow currently routed through port, returning how
+// many were cleared. The control plane calls this when a path fails: each
+// affected flow re-consults the module (which by then should exclude the
+// dead uplink) on its next packet — typically the retransmission that
+// recovers the loss. Flows on healthy paths keep their pins.
+func (r *PathRouter) Invalidate(port int) int {
+	n := 0
+	for id, p := range r.flowPath {
+		if p == port {
+			delete(r.flowPath, id)
+			n++
+		}
+	}
+	return n
+}
+
+// Pinned returns the number of flows currently pinned to a path.
+func (r *PathRouter) Pinned() int { return len(r.flowPath) }
+
 // PortSelector makes per-packet output-port decisions (§7.2.4): every
 // packet with more than one candidate port consults the Thanos module,
 // whose table holds one resource per port with live queue metrics.
@@ -98,6 +117,7 @@ type PortSelector struct {
 	module     Backend
 	portOf     func(resource int) int
 	resourceOf map[int]int // port -> resource
+	dropped    uint64      // metric updates the backend refused
 }
 
 // NewPortSelector installs per-packet policy-driven port selection on sw.
@@ -149,7 +169,17 @@ func (s *PortSelector) SyncQueueMetric(queueDim int) {
 		}
 		vals[queueDim] = newLen
 		if err := s.module.Upsert(res, vals); err != nil {
-			panic(err) // resource was just read; upsert cannot fail
+			// The resource was just read, so this "cannot" fail — but a
+			// degraded backend (e.g. an engine whose shards are all
+			// quarantined, or one racing Close) may refuse writes. A stale
+			// queue metric until the next event is strictly better than
+			// crashing the simulation; the periodic metric tick heals it.
+			s.dropped++
 		}
 	}
 }
+
+// DroppedUpdates returns control-plane metric updates the backend refused;
+// the table serves slightly stale queue metrics until a later event or
+// metric tick succeeds.
+func (s *PortSelector) DroppedUpdates() uint64 { return s.dropped }

@@ -18,6 +18,9 @@ type Switch struct {
 
 	candidates [][]int // candidates[dstHost] = eligible output ports
 
+	failed    bool   // switch fault: every received packet is dropped
+	failDrops uint64 // packets dropped because the switch was failed
+
 	// Forward picks the output port for a packet. It must return a valid
 	// port index; returning a negative index drops the packet (used for
 	// blackhole tests).
@@ -83,9 +86,44 @@ func (s *Switch) Candidates(dst int) []int {
 	return s.candidates[dst]
 }
 
+// SetFailed fails (true) or recovers (false) the whole switch. A failed
+// switch blackholes every packet it receives, and each attached link is
+// taken down in both directions so neighbors count their losses at the
+// faulted device, exactly as a dead box behaves. Recovery restores the
+// switch and brings all its links back up; a link that was additionally
+// failed on its own must be re-failed by the caller afterwards.
+func (s *Switch) SetFailed(failed bool) {
+	if s.failed == failed {
+		return
+	}
+	s.failed = failed
+	for _, p := range s.ports {
+		if p.peer != nil {
+			p.SetLinkDown(failed)
+		}
+	}
+}
+
+// Failed reports whether the switch is currently failed.
+func (s *Switch) Failed() bool { return s.failed }
+
+// FaultDrops returns packets dropped because this switch was failed or its
+// links were down.
+func (s *Switch) FaultDrops() uint64 {
+	n := s.failDrops
+	for _, p := range s.ports {
+		n += p.faultPkts
+	}
+	return n
+}
+
 // Receive implements Node: it forwards the packet out the port chosen by
-// the Forward function.
+// the Forward function. A failed switch drops everything.
 func (s *Switch) Receive(pkt *Packet, _ int) {
+	if s.failed {
+		s.failDrops++
+		return
+	}
 	if s.Forward == nil {
 		panic(fmt.Sprintf("netsim: switch %d has no forwarding function", s.id))
 	}

@@ -24,12 +24,40 @@ func (n *Network) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
 		func() int64 { return int64(n.totalDrops()) })
 	reg.NewGaugeFunc(prefix+"_sent_bytes_total", "bytes transmitted across all switch ports",
 		func() int64 { return int64(n.totalSentBytes()) })
+	reg.NewGaugeFunc(prefix+"_fault_drops_total", "packets dropped by failed switches and downed links",
+		func() int64 { return int64(n.FaultDrops()) })
+	reg.NewGaugeFunc(prefix+"_failed_switches", "switches currently failed",
+		func() int64 {
+			var k int64
+			for _, sw := range n.Switches {
+				if sw.Failed() {
+					k++
+				}
+			}
+			return k
+		})
 	for i := range n.Switches {
 		sw := n.Switches[i]
 		reg.NewGaugeFunc(fmt.Sprintf("%s_switch%d_drops", prefix, sw.ID()),
 			fmt.Sprintf("packets dropped by switch %d", sw.ID()),
 			func() int64 { return int64(switchDrops(sw)) })
 	}
+}
+
+// FaultDrops returns the network-wide count of packets lost to injected
+// faults: blackholed by failed switches or refused by downed links
+// (including host NICs whose switch-side peer went down).
+func (n *Network) FaultDrops() uint64 {
+	var total uint64
+	for _, sw := range n.Switches {
+		total += sw.FaultDrops()
+	}
+	for _, h := range n.Hosts {
+		if h.nic != nil {
+			total += h.nic.faultPkts
+		}
+	}
+	return total
 }
 
 func (n *Network) totalDrops() uint64 {

@@ -12,6 +12,15 @@ import (
 // through a single pipeline.
 var ErrWriteContention = errors.New("smbm: concurrent writes to same resource entry in one cycle")
 
+// ErrReplicaDivergence is returned when a broadcast write succeeds on the
+// authoritative replica (pipeline 0) but fails on a sibling, meaning that
+// sibling no longer mirrors the authoritative contents — e.g. after memory
+// corruption or a missed update. The diverged replica is remembered and
+// skipped by subsequent broadcasts until Resync rebuilds it; the healthy
+// replicas stay mutually consistent throughout, so the data plane can keep
+// serving from them while the control plane repairs the failed pipeline.
+var ErrReplicaDivergence = errors.New("smbm: replica divergence")
+
 // ReplicaGroup models Thanos's integration with multi-pipelined data planes
 // (§5.1.5): one SMBM replica per switch pipeline, with every write applied
 // synchronously to all replicas so that probe packets never need to be
@@ -23,6 +32,12 @@ type ReplicaGroup struct {
 	cycle    uint64
 	// writers maps resource id -> pipeline that wrote it this cycle.
 	writers map[int]int
+	// diverged[p] marks replica p as out of sync with replica 0: a broadcast
+	// write failed on it after succeeding on the authoritative replica.
+	// Diverged replicas are skipped by later broadcasts (they would only
+	// drift further) until Resync clears the flag. Replica 0 is the
+	// authority and never diverges: its failures reject the whole write.
+	diverged []bool
 
 	// broadcast enables the thread-safe broadcast-update mode: when set,
 	// every write (and AdvanceCycle/InSync) serializes on mu, so concurrent
@@ -43,6 +58,7 @@ func NewReplicaGroup(numPipelines, n, m int) *ReplicaGroup {
 	g := &ReplicaGroup{
 		replicas: make([]*SMBM, numPipelines),
 		writers:  make(map[int]int),
+		diverged: make([]bool, numPipelines),
 	}
 	for i := range g.replicas {
 		g.replicas[i] = New(n, m)
@@ -112,17 +128,12 @@ func (g *ReplicaGroup) Add(from, id int, metrics []int64) error {
 	if err := g.claim(from, id); err != nil {
 		return err
 	}
-	// Validate against one replica first so a failure leaves all replicas
-	// untouched and identical.
+	// Validate against the authoritative replica first so a failure leaves
+	// all replicas untouched and identical.
 	if err := g.replicas[0].Add(id, metrics); err != nil {
 		return err
 	}
-	for _, r := range g.replicas[1:] {
-		if err := r.Add(id, metrics); err != nil {
-			panic("smbm: replica divergence on add: " + err.Error())
-		}
-	}
-	return nil
+	return g.fanOut("add", id, func(r *SMBM) error { return r.Add(id, metrics) })
 }
 
 // Delete applies a delete for resource id from pipeline from to all
@@ -136,12 +147,7 @@ func (g *ReplicaGroup) Delete(from, id int) error {
 	if err := g.replicas[0].Delete(id); err != nil {
 		return err
 	}
-	for _, r := range g.replicas[1:] {
-		if err := r.Delete(id); err != nil {
-			panic("smbm: replica divergence on delete: " + err.Error())
-		}
-	}
-	return nil
+	return g.fanOut("delete", id, func(r *SMBM) error { return r.Delete(id) })
 }
 
 // Update applies an update (delete + add, §5.1.2) from pipeline from to all
@@ -155,22 +161,89 @@ func (g *ReplicaGroup) Update(from, id int, metrics []int64) error {
 	if err := g.replicas[0].Update(id, metrics); err != nil {
 		return err
 	}
-	for _, r := range g.replicas[1:] {
-		if err := r.Update(id, metrics); err != nil {
-			panic("smbm: replica divergence on update: " + err.Error())
+	return g.fanOut("update", id, func(r *SMBM) error { return r.Update(id, metrics) })
+}
+
+// fanOut applies op to every in-sync sibling replica after the
+// authoritative replica has already accepted the write. A sibling failure
+// marks that replica diverged and is reported as ErrReplicaDivergence, but
+// the remaining healthy siblings still receive the write so they stay
+// consistent with the authority — divergence is contained to the failed
+// pipeline instead of crashing the group.
+func (g *ReplicaGroup) fanOut(verb string, id int, op func(r *SMBM) error) error {
+	var firstErr error
+	for p := 1; p < len(g.replicas); p++ {
+		if g.diverged[p] {
+			continue
+		}
+		if err := op(g.replicas[p]); err != nil {
+			g.diverged[p] = true
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%w: replica %d on %s id %d: %v",
+					ErrReplicaDivergence, p, verb, id, err)
+			}
 		}
 	}
+	return firstErr
+}
+
+// Diverged returns the (ascending) pipeline indices currently marked out of
+// sync with the authoritative replica.
+func (g *ReplicaGroup) Diverged() []int {
+	g.lock()
+	defer g.unlock()
+	var out []int
+	for p, d := range g.diverged {
+		if d {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Resync rebuilds replica p from a snapshot of the authoritative replica
+// (pipeline 0) and clears its diverged mark, returning it to the broadcast
+// set. It is the recovery half of the quarantine protocol: the data plane
+// keeps serving from healthy replicas while the control plane calls Resync
+// on the failed pipeline. Resyncing replica 0 is rejected — it is the
+// authority the others are rebuilt from. The caller must not read replica p
+// concurrently with Resync.
+func (g *ReplicaGroup) Resync(p int) error {
+	g.checkPipeline(p)
+	g.lock()
+	defer g.unlock()
+	if p == 0 {
+		return errors.New("smbm: cannot resync authoritative replica 0")
+	}
+	base := g.replicas[0]
+	fresh := New(base.Capacity(), base.NumMetrics())
+	for _, id := range base.Members().IDs() {
+		vals, ok := base.Metrics(id)
+		if !ok {
+			return fmt.Errorf("smbm: resync: id %d vanished from authority", id)
+		}
+		if err := fresh.Add(id, vals); err != nil {
+			return fmt.Errorf("smbm: resync replica %d: %w", p, err)
+		}
+	}
+	g.replicas[p] = fresh
+	g.diverged[p] = false
 	return nil
 }
 
-// InSync reports whether all replicas hold identical contents, the
-// correctness condition for the synchronous-update design.
+// InSync reports whether all non-diverged replicas hold identical contents,
+// the correctness condition for the synchronous-update design. Replicas
+// already marked diverged are excluded: they are known-bad and awaiting
+// Resync, and must not fail the healthy set's invariant.
 func (g *ReplicaGroup) InSync() bool {
 	g.lock()
 	defer g.unlock()
 	base := g.replicas[0]
 	ids := base.Members().IDs()
-	for _, r := range g.replicas[1:] {
+	for p, r := range g.replicas[1:] {
+		if g.diverged[p+1] {
+			continue
+		}
 		if r.Size() != base.Size() {
 			return false
 		}

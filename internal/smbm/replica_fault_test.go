@@ -1,0 +1,114 @@
+package smbm
+
+import (
+	"errors"
+	"testing"
+)
+
+// corruptReplica silently mutates replica p behind the group's back,
+// modeling a pipeline whose table memory no longer mirrors the
+// authoritative contents (bit flip, missed update, firmware bug).
+func corruptReplica(t *testing.T, g *ReplicaGroup, p, id int) {
+	t.Helper()
+	if err := g.Replica(p).Delete(id); err != nil {
+		t.Fatalf("corrupting replica %d: %v", p, err)
+	}
+}
+
+// TestReplicaGroupDivergenceIsErrorNotPanic is the regression test for the
+// former panic on broadcast divergence: a corrupted sibling must surface as
+// ErrReplicaDivergence while the process survives and the healthy replicas
+// stay consistent.
+func TestReplicaGroupDivergenceIsErrorNotPanic(t *testing.T) {
+	g := NewReplicaGroup(4, 8, 2)
+	for id := 0; id < 4; id++ {
+		if err := g.Add(0, id, []int64{int64(id), int64(id * 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	corruptReplica(t, g, 2, 3)
+
+	g.AdvanceCycle()
+	err := g.Update(0, 3, []int64{99, 990})
+	if !errors.Is(err, ErrReplicaDivergence) {
+		t.Fatalf("Update on corrupted replica: err = %v, want ErrReplicaDivergence", err)
+	}
+	if got := g.Diverged(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Diverged() = %v, want [2]", got)
+	}
+	// The healthy set (0, 1, 3) must have applied the update and stayed
+	// mutually identical.
+	for _, p := range []int{0, 1, 3} {
+		vals, ok := g.Replica(p).Metrics(3)
+		if !ok || vals[0] != 99 || vals[1] != 990 {
+			t.Fatalf("replica %d missed the update: %v %v", p, vals, ok)
+		}
+	}
+	if !g.InSync() {
+		t.Fatal("healthy replicas out of sync after contained divergence")
+	}
+}
+
+// TestReplicaGroupDivergedReplicaSkipped: once diverged, a replica receives
+// no further broadcasts (it would only drift) and subsequent writes to
+// unrelated ids succeed without error.
+func TestReplicaGroupDivergedReplicaSkipped(t *testing.T) {
+	g := NewReplicaGroup(3, 8, 1)
+	if err := g.Add(0, 1, []int64{10}); err != nil {
+		t.Fatal(err)
+	}
+	corruptReplica(t, g, 1, 1)
+	g.AdvanceCycle()
+	if err := g.Delete(0, 1); !errors.Is(err, ErrReplicaDivergence) {
+		t.Fatalf("Delete: err = %v, want ErrReplicaDivergence", err)
+	}
+	g.AdvanceCycle()
+	// Unrelated write: healthy replicas apply it, diverged one is skipped,
+	// no error is reported.
+	if err := g.Add(0, 2, []int64{20}); err != nil {
+		t.Fatalf("Add after contained divergence: %v", err)
+	}
+	if g.Replica(1).Contains(2) {
+		t.Fatal("diverged replica still receiving broadcasts")
+	}
+	if !g.Replica(0).Contains(2) || !g.Replica(2).Contains(2) {
+		t.Fatal("healthy replicas missed the broadcast")
+	}
+}
+
+// TestReplicaGroupResync rebuilds a diverged replica from the authority and
+// returns it to the broadcast set.
+func TestReplicaGroupResync(t *testing.T) {
+	g := NewReplicaGroup(3, 16, 2)
+	for id := 0; id < 6; id++ {
+		if err := g.Add(0, id, []int64{int64(id), int64(-id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	corruptReplica(t, g, 2, 0)
+	g.AdvanceCycle()
+	if err := g.Update(0, 0, []int64{7, -7}); !errors.Is(err, ErrReplicaDivergence) {
+		t.Fatalf("err = %v, want ErrReplicaDivergence", err)
+	}
+
+	if err := g.Resync(2); err != nil {
+		t.Fatalf("Resync: %v", err)
+	}
+	if got := g.Diverged(); len(got) != 0 {
+		t.Fatalf("Diverged() = %v after resync, want empty", got)
+	}
+	if !g.InSync() {
+		t.Fatal("group out of sync after resync")
+	}
+	// The resynced replica participates in broadcasts again.
+	g.AdvanceCycle()
+	if err := g.Add(0, 9, []int64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Replica(2).Contains(9) {
+		t.Fatal("resynced replica missed post-resync broadcast")
+	}
+	if err := g.Resync(0); err == nil {
+		t.Fatal("Resync(0) should reject the authoritative replica")
+	}
+}
