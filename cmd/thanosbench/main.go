@@ -17,6 +17,17 @@
 //	thanosbench -benchjson out.json  # machine-readable results ("-" = stdout)
 //	thanosbench -engine -shards 8    # sharded decision-engine throughput sweep
 //	                                 # (1..8 shards; also reachable as -exp engine)
+//
+// Performance-trajectory mode (the committed BENCH_<n>.json checkpoints and
+// the `make check-perf` CI gate):
+//
+//	thanosbench -checkpoint BENCH_1.json            # run the fixed benchmark
+//	                                                # set, write a checkpoint
+//	thanosbench -checkpoint new.json -against BENCH_0.json
+//	                                                # ...and fail (exit 1) if any
+//	                                                # tracked benchmark regressed
+//	                                                # more than -regress vs the
+//	                                                # baseline
 package main
 
 import (
@@ -32,6 +43,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/experiments/runner"
 	"repro/internal/lb"
+	"repro/internal/perfcheck"
 	"repro/internal/telemetry"
 )
 
@@ -68,7 +80,16 @@ func main() {
 	shards := flag.Int("shards", 8, "maximum shard count for the engine sweep (sweeps powers of two up to this)")
 	metricsOut := flag.String("metrics", "", "run an instrumented engine point and write its Prometheus text snapshot to this file")
 	traceOut := flag.String("trace", "", "run an instrumented engine point and write its sampled decisions as Chrome trace_event JSON to this file")
+	checkpointOut := flag.String("checkpoint", "", "run the fixed perf-checkpoint benchmark set and write it as JSON to this file (\"-\" for stdout)")
+	against := flag.String("against", "", "baseline checkpoint to compare the run against; any tracked benchmark regressing more than -regress fails with exit 1")
+	regress := flag.Float64("regress", perfcheck.DefaultThreshold, "regression gate for hot-path benchmarks (0.10 = 10%); noisy wall-clock benchmarks keep their own wider bands from the set definition")
 	flag.Parse()
+
+	// Checkpoint mode is exclusive: it runs the pinned benchmark set instead
+	// of the paper experiments.
+	if *checkpointOut != "" || *against != "" {
+		os.Exit(runCheckpoint(*checkpointOut, *against, *regress))
+	}
 
 	pool := runner.Serial()
 	if *parallel {
@@ -198,6 +219,48 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runCheckpoint runs the fixed perf benchmark set, optionally writes the
+// fresh checkpoint, and optionally gates it against a baseline checkpoint.
+// It returns the process exit code: 1 on a regression or harness error.
+func runCheckpoint(out, against string, threshold float64) int {
+	set := perfcheck.FullSet()
+	fresh, err := perfcheck.Run(set, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+		return 1
+	}
+	if out != "" {
+		if err := fresh.WriteFile(out); err != nil {
+			fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+			return 1
+		}
+	}
+	if against == "" {
+		return 0
+	}
+	base, err := perfcheck.Load(against)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+		return 1
+	}
+	// -regress overrides the tight default band; benchmarks with an explicit
+	// wider band in the set definition keep it.
+	thresholds := perfcheck.Thresholds(set)
+	for _, b := range set {
+		if b.Threshold == 0 {
+			thresholds[b.Name] = threshold
+		}
+	}
+	cmp := perfcheck.Compare(base, fresh, thresholds)
+	cmp.Report(os.Stdout)
+	if cmp.Failed() {
+		fmt.Fprintf(os.Stderr, "checkpoint: regression vs %s\n", against)
+		return 1
+	}
+	fmt.Printf("checkpoint: no regression vs %s\n", against)
+	return 0
 }
 
 func writeMetrics(path string, reg *telemetry.Registry) error {

@@ -1,0 +1,144 @@
+package perfcheck
+
+import (
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkCheckpoint(bench map[string]float64) *Checkpoint {
+	cp := &Checkpoint{Schema: Schema, Benchmarks: map[string]Result{}}
+	for name, ns := range bench {
+		cp.Benchmarks[name] = Result{Iters: 100, NsPerOp: ns, RepsNs: []float64{ns}}
+	}
+	return cp
+}
+
+func TestCompareGates(t *testing.T) {
+	base := mkCheckpoint(map[string]float64{
+		"steady": 100, "faster": 100, "slower": 100, "gone": 50,
+	})
+	fresh := mkCheckpoint(map[string]float64{
+		"steady": 105, "faster": 40, "slower": 120, "new": 10,
+	})
+	cmp := Compare(base, fresh, nil)
+	if !cmp.Failed() {
+		t.Fatal("20% slowdown did not fail the 10% gate")
+	}
+	byName := map[string]Delta{}
+	for _, d := range cmp.Deltas {
+		byName[d.Name] = d
+	}
+	if byName["steady"].Regression {
+		t.Error("5% slowdown flagged as regression at 10% threshold")
+	}
+	if byName["faster"].Regression {
+		t.Error("speedup flagged as regression")
+	}
+	if !byName["slower"].Regression {
+		t.Error("20% slowdown not flagged")
+	}
+	if len(cmp.Added) != 1 || cmp.Added[0] != "new" {
+		t.Errorf("Added = %v, want [new]", cmp.Added)
+	}
+	if len(cmp.Removed) != 1 || cmp.Removed[0] != "gone" {
+		t.Errorf("Removed = %v, want [gone]", cmp.Removed)
+	}
+
+	// Within threshold everywhere -> gate passes.
+	ok := Compare(base, mkCheckpoint(map[string]float64{
+		"steady": 100, "faster": 100, "slower": 109,
+	}), nil)
+	if ok.Failed() {
+		t.Fatal("within-threshold comparison failed the gate")
+	}
+
+	// A wider per-benchmark threshold tolerates what the default rejects.
+	wide := Compare(base, mkCheckpoint(map[string]float64{
+		"slower": 120,
+	}), map[string]float64{"slower": 0.50})
+	if wide.Failed() {
+		t.Fatal("20% slowdown failed a 50% per-benchmark gate")
+	}
+}
+
+func TestCompareCalibration(t *testing.T) {
+	// The whole machine got 30% slower, including the calibration spin:
+	// normalized ratios are ~1 and the gate must pass.
+	base := mkCheckpoint(map[string]float64{CalibrationName: 100, "hot": 100})
+	slowMachine := mkCheckpoint(map[string]float64{CalibrationName: 130, "hot": 130})
+	cmp := Compare(base, slowMachine, nil)
+	if cmp.CalRatio != 1.3 {
+		t.Errorf("CalRatio = %v, want 1.3", cmp.CalRatio)
+	}
+	if cmp.Failed() {
+		t.Error("uniform machine slowdown failed the normalized gate")
+	}
+
+	// A real regression on a steady machine still fails.
+	realSlow := mkCheckpoint(map[string]float64{CalibrationName: 100, "hot": 130})
+	if !Compare(base, realSlow, nil).Failed() {
+		t.Error("30% code regression passed the gate")
+	}
+
+	// Without a calibration pair the raw ratio gates, unchanged.
+	if !Compare(mkCheckpoint(map[string]float64{"hot": 100}),
+		mkCheckpoint(map[string]float64{"hot": 130}), nil).Failed() {
+		t.Error("uncalibrated 30% slowdown passed the gate")
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.json")
+	cp, err := Run([]Benchmark{
+		{Name: "noop", Iters: 10, Reps: 2, Setup: func() (func(int), error) {
+			return func(int) {}, nil
+		}},
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := got.Benchmarks["noop"]
+	if !ok || res.Iters != 10 || len(res.RepsNs) != 2 {
+		t.Fatalf("round trip lost data: %+v", got.Benchmarks)
+	}
+	if res.NsPerOp != min(res.RepsNs[0], res.RepsNs[1]) {
+		t.Errorf("NsPerOp %v is not the min of reps %v", res.NsPerOp, res.RepsNs)
+	}
+}
+
+// TestFullSetIsWellFormed sanity-checks the pinned set without running it:
+// unique names, positive iteration counts, and the churn workload's
+// repetition-safety invariant (iters a multiple of a full add/update/delete
+// cycle, so every repetition starts from the same table state).
+func TestFullSetIsWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, b := range FullSet() {
+		if b.Name == "" || strings.ContainsAny(b.Name, " \t") {
+			t.Errorf("bad benchmark name %q", b.Name)
+		}
+		if seen[b.Name] {
+			t.Errorf("duplicate benchmark %q", b.Name)
+		}
+		seen[b.Name] = true
+		if b.Iters <= 0 {
+			t.Errorf("%s: non-positive iters", b.Name)
+		}
+		if b.Name == "SMBMUpdateChurn" && b.Iters%churnCycle != 0 {
+			t.Errorf("SMBMUpdateChurn iters %d not a multiple of the %d-op cycle", b.Iters, churnCycle)
+		}
+	}
+	for _, want := range []string{"FilterModuleDecide", "SMBMUpdate", "SMBMUpdateChurn", "EngineDecideBatch"} {
+		if !seen[want] {
+			t.Errorf("tracked benchmark %s missing from the set", want)
+		}
+	}
+}
