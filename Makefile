@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test bench check check-debug check-fault fuzz-smoke overhead-smoke metrics-demo
+.PHONY: build test bench check check-debug check-fault check-perf fuzz-smoke overhead-smoke metrics-demo
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,19 @@ check-fault:
 	$(GO) test -race -count=1 \
 		-run 'Fault|Failure|Quarantine|Resync|Replica|ControlUpdater|ClusterRun|RTO|PortSetDown|EngineClose' \
 		./internal/engine/ ./internal/smbm/ ./internal/netsim/ ./internal/experiments/ ./internal/lb/
+
+# check-perf is the performance-regression gate: it runs the pinned
+# benchmark set (internal/perfcheck) and compares against the newest
+# committed BENCH_<n>.json checkpoint. Hot-path benchmarks fail the gate at
+# >10% calibration-normalized slowdown; kernel/table construction and
+# wall-clock simulation benchmarks carry the wider bands declared in the
+# set. Flagged benchmarks are re-measured up to three times before failing,
+# so a co-tenant load burst on a shared runner does not fail the build. The
+# fresh checkpoint lands in PERFCHECK_OUT for trajectory archiving.
+PERFCHECK_OUT ?= bench_fresh.json
+check-perf:
+	$(GO) run ./cmd/thanosbench -checkpoint $(PERFCHECK_OUT) \
+		-against "$$(ls BENCH_*.json | sort -t_ -k2 -n | tail -1)"
 
 # fuzz-smoke runs each native fuzz target for FUZZTIME (30s default) from
 # its checked-in seed corpus: the DSL parser round-trip and the bit-vector

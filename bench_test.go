@@ -334,3 +334,134 @@ func BenchmarkAsicModel(b *testing.B) {
 		_ = asic.SMBMClockGHz(512, 8)
 	}
 }
+
+// benchVectors builds a deterministic pair of 512-bit vectors (~50% and
+// ~33% dense) for the kernel microbenchmarks below.
+func benchVectors() (a, b *bitvec.Vector) {
+	const n = 512
+	r := rand.New(rand.NewSource(9))
+	a, b = bitvec.New(n), bitvec.New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 0 {
+			a.Set(i)
+		}
+		if r.Intn(3) == 0 {
+			b.Set(i)
+		}
+	}
+	return a, b
+}
+
+// BenchmarkBitvec* track the word-parallel kernels individually; the same
+// workloads are pinned in the perfcheck checkpoint set.
+
+func BenchmarkBitvecAnd(b *testing.B) {
+	x, y := benchVectors()
+	out := bitvec.New(x.Len())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.And(x, y)
+	}
+}
+
+func BenchmarkBitvecOr(b *testing.B) {
+	x, y := benchVectors()
+	out := bitvec.New(x.Len())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.Or(x, y)
+	}
+}
+
+func BenchmarkBitvecCount(b *testing.B) {
+	x, _ := benchVectors()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if x.Count() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkBitvecFirstSet(b *testing.B) {
+	x, _ := benchVectors()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if x.FirstSet() < 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkBitvecNextSetCyclic(b *testing.B) {
+	x, _ := benchVectors()
+	n := x.Len()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if x.NextSetCyclic(i%n) < 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkBitvecRank(b *testing.B) {
+	x, _ := benchVectors()
+	n := x.Len()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Rank(i % (n + 1))
+	}
+}
+
+func BenchmarkBitvecSelect(b *testing.B) {
+	x, _ := benchVectors()
+	c := x.Count()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if x.Select(i%c) < 0 {
+			b.Fatal("select out of range")
+		}
+	}
+}
+
+func BenchmarkBitvecAndFirstSet(b *testing.B) {
+	x, y := benchVectors()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bitvec.AndFirstSet(x, y) < 0 {
+			b.Fatal("empty intersection")
+		}
+	}
+}
+
+func BenchmarkBitvecAndNextSetCyclic(b *testing.B) {
+	x, y := benchVectors()
+	n := x.Len()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bitvec.AndNextSetCyclic(x, y, i%n) < 0 {
+			b.Fatal("empty intersection")
+		}
+	}
+}
+
+func BenchmarkBitvecAndInto(b *testing.B) {
+	x, y := benchVectors()
+	z := bitvec.New(x.Len())
+	z.Or(x, y)
+	out := bitvec.New(x.Len())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.AndInto(x, y, z)
+	}
+}

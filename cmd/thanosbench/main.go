@@ -231,6 +231,49 @@ func runCheckpoint(out, against string, threshold float64) int {
 		fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
 		return 1
 	}
+	var cmp *perfcheck.Comparison
+	if against != "" {
+		base, err := perfcheck.Load(against)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+			return 1
+		}
+		// -regress overrides the tight default band; benchmarks with an
+		// explicit wider band in the set definition keep it.
+		thresholds := perfcheck.Thresholds(set)
+		for _, b := range set {
+			if b.Threshold == 0 {
+				thresholds[b.Name] = threshold
+			}
+		}
+		cmp = perfcheck.Compare(base, fresh, thresholds)
+		// On a shared box a flagged benchmark is as often a co-tenant load
+		// burst as a real slowdown. Pinned iterations make a re-run the exact
+		// same work, so before failing, re-measure just the flagged subset
+		// (plus both calibration workloads, so normalization tracks the retry
+		// window's machine speed), fold the new minima in, and re-judge.
+		// Genuine regressions survive every retry; bursts do not.
+		for retry := 1; cmp.Failed() && retry <= 3; retry++ {
+			names := map[string]bool{
+				perfcheck.CalibrationName:    true,
+				perfcheck.MemCalibrationName: true,
+			}
+			for _, d := range cmp.Deltas {
+				if d.Regression {
+					names[d.Name] = true
+				}
+			}
+			fmt.Fprintf(os.Stderr, "checkpoint: re-measuring %d flagged benchmarks (retry %d of 3)\n",
+				len(names)-1, retry)
+			re, err := perfcheck.Run(perfcheck.Subset(set, names), os.Stderr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+				return 1
+			}
+			fresh.Merge(re)
+			cmp = perfcheck.Compare(base, fresh, thresholds)
+		}
+	}
 	if out != "" {
 		if err := fresh.WriteFile(out); err != nil {
 			fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
@@ -240,20 +283,6 @@ func runCheckpoint(out, against string, threshold float64) int {
 	if against == "" {
 		return 0
 	}
-	base, err := perfcheck.Load(against)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
-		return 1
-	}
-	// -regress overrides the tight default band; benchmarks with an explicit
-	// wider band in the set definition keep it.
-	thresholds := perfcheck.Thresholds(set)
-	for _, b := range set {
-		if b.Threshold == 0 {
-			thresholds[b.Name] = threshold
-		}
-	}
-	cmp := perfcheck.Compare(base, fresh, thresholds)
 	cmp.Report(os.Stdout)
 	if cmp.Failed() {
 		fmt.Fprintf(os.Stderr, "checkpoint: regression vs %s\n", against)

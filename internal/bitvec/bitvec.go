@@ -193,7 +193,7 @@ func (v *Vector) FirstSet() int {
 func (v *Vector) LastSet() int {
 	for i := len(v.words) - 1; i >= 0; i-- {
 		if w := v.words[i]; w != 0 {
-			return i*wordBits + wordBits - 1 - bits.LeadingZeros64(w)
+			return i*wordBits + bits.Len64(w) - 1
 		}
 	}
 	return -1

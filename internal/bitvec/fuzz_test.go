@@ -160,6 +160,109 @@ func FuzzVectorOps(f *testing.F) {
 			}
 		}
 
+		// Word-parallel kernels against the same model. Rank/Select are
+		// exact inverses over the set bits; every fused And* kernel must
+		// agree with the materialized intersection it avoids building.
+		for i := 0; i <= n; i++ {
+			want := 0
+			for j := 0; j < i; j++ {
+				if ma[j] {
+					want++
+				}
+			}
+			if got := a.Rank(i); got != want {
+				t.Fatalf("Rank(%d) = %d, model %d (n=%d)", i, got, want, n)
+			}
+		}
+		k := 0
+		for i, bit := range ma {
+			if !bit {
+				continue
+			}
+			if got := a.Select(k); got != i {
+				t.Fatalf("Select(%d) = %d, model %d (n=%d)", k, got, i, n)
+			}
+			if r := a.Rank(i); r != k {
+				t.Fatalf("Rank(Select(%d)) = %d", k, r)
+			}
+			k++
+		}
+		if got := a.Select(k); got != -1 {
+			t.Fatalf("Select(count) = %d, want -1", got)
+		}
+		if got := AndCount(a, b); got != and.Count() {
+			t.Fatalf("AndCount = %d, materialized %d", got, and.Count())
+		}
+		if got := AndAny(a, b); got != and.Any() {
+			t.Fatalf("AndAny = %v, materialized %v", got, and.Any())
+		}
+		if got := AndFirstSet(a, b); got != and.FirstSet() {
+			t.Fatalf("AndFirstSet = %d, materialized %d", got, and.FirstSet())
+		}
+		if got := AndLastSet(a, b); got != and.LastSet() {
+			t.Fatalf("AndLastSet = %d, materialized %d", got, and.LastSet())
+		}
+		for k := 0; k <= and.Count(); k++ {
+			if got := AndSelect(a, b, k); got != and.Select(k) {
+				t.Fatalf("AndSelect(%d) = %d, materialized %d", k, got, and.Select(k))
+			}
+		}
+		for start := 0; start < n; start++ {
+			if got := AndNextSetCyclic(a, b, start); got != and.NextSetCyclic(start) {
+				t.Fatalf("AndNextSetCyclic(%d) = %d, materialized %d",
+					start, got, and.NextSetCyclic(start))
+			}
+		}
+
+		// Batched reduction: a third vector from the payload, reduced with
+		// AndInto both into a fresh destination and aliased over a source.
+		c := New(n)
+		mc := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if bitAt(data, 2, i) {
+				c.Set(i)
+				mc[i] = true
+			}
+		}
+		m3 := make([]bool, n)
+		for i := 0; i < n; i++ {
+			m3[i] = ma[i] && mb[i] && mc[i]
+		}
+		red := New(n)
+		red.AndInto(a, b, c)
+		checkModel("andinto", red, m3)
+		aliased := a.Clone()
+		aliased.AndInto(aliased, b, c)
+		checkModel("andinto-aliased", aliased, m3)
+		single := New(n)
+		single.AndInto(a)
+		checkModel("andinto-single", single, ma)
+
+		// Fused I/O-generator update: acc |= c and rem &^= c in one pass.
+		acc, rem := a.Clone(), b.Clone()
+		OrAndNot(acc, rem, c)
+		macc, mrem := make([]bool, n), make([]bool, n)
+		for i := 0; i < n; i++ {
+			macc[i] = ma[i] || mc[i]
+			mrem[i] = mb[i] && !mc[i]
+		}
+		checkModel("orandnot-acc", acc, macc)
+		checkModel("orandnot-rem", rem, mrem)
+
+		// Arena batch: vectors carved from one backing array must behave
+		// like independently allocated ones — no cross-slot interference.
+		batch := NewBatch(n, 3)
+		batch[0].CopyFrom(a)
+		batch[1].CopyFrom(b)
+		batch[2].Not(batch[2])
+		checkModel("batch0", batch[0], ma)
+		checkModel("batch1", batch[1], mb)
+		if batch[2].Count() != n {
+			t.Fatalf("batch slot complement has %d bits, want %d", batch[2].Count(), n)
+		}
+		batch[2].Reset()
+		checkModel("batch0-after-neighbor-reset", batch[0], ma)
+
 		// Mutation round trip: flipping a bit twice restores the vector.
 		if n > 0 {
 			i := int(sel) % n

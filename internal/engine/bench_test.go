@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/policy"
+	"repro/internal/telemetry"
 )
 
 // BenchmarkEngineDecideBatch measures batched decision throughput as the
@@ -46,6 +47,37 @@ func BenchmarkEngineDecideBatch(b *testing.B) {
 				b.ReportMetric(float64(batch)/perOp, "decisions/s")
 			}
 		})
+	}
+}
+
+// BenchmarkEngineDecideBatchTelemetry is BenchmarkEngineDecideBatch with
+// full telemetry attached (counters, chain stats, default 1-in-1024 trace
+// sampling) at a fixed 2 shards — the instrumented column of the ≤5%
+// overhead contract that TestTelemetryOverheadSmoke gates in CI.
+func BenchmarkEngineDecideBatchTelemetry(b *testing.B) {
+	const batch = 4096
+	e, err := New(Config{
+		Shards:    2,
+		Capacity:  64,
+		Schema:    testSchema,
+		Policy:    policy.MustParse(testPolicySrc),
+		Telemetry: telemetry.NewRegistry(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	fillRandom(b, e, 64, 1)
+
+	pkts := make([]Packet, batch)
+	for i := range pkts {
+		pkts[i] = Packet{Key: uint64(i) * 0x9E3779B97F4A7C15}
+	}
+	e.DecideBatch(pkts) // warm up
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.DecideBatch(pkts)
 	}
 }
 

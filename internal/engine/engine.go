@@ -141,6 +141,11 @@ const DefaultTraceCapacity = 256
 // A snapshot is only ever executed by its shard's reader goroutine and only
 // ever mutated by a writer that has proven (via the epoch protocol) that the
 // reader is not using it.
+//
+// Both halves are arena-packed: the SMBM stores its dimensions in padded
+// columnar arenas and the interpreter carves every step buffer from one
+// cache-line-aligned bitvec batch, so a shard's decision working set is a
+// handful of contiguous allocations rather than per-vector heap objects.
 type snapshot struct {
 	table  *smbm.SMBM
 	interp *policy.Interp
@@ -629,6 +634,7 @@ func (s *shard) process(w work) {
 		}
 		s.inUse.Store(nil) // writer swapped underneath us; retry on the new epoch
 	}
+	var dec, empty uint64
 	for _, i := range w.idx {
 		p := &w.pkts[i]
 		tr := s.tracer.Sample()
@@ -636,13 +642,20 @@ func (s *shard) process(w work) {
 		res := policy.Resolve(s.pol, outs, p.Out)
 		p.ID = res.FirstSet()
 		p.OK = p.ID >= 0
-		s.decCtr.Inc()
+		dec++
 		if !p.OK {
-			s.emptyCtr.Inc()
+			empty++
 		}
 		tr.Finish(p.Out, p.ID, p.OK)
 	}
-	st.interp.FlushStats() // one atomic publish per chunk, not per decision
+	// One telemetry publish per chunk, not per decision. The snapshot (and
+	// so its table version) stays pinned until inUse clears below, which is
+	// what FlushStats's same-version contract requires.
+	s.decCtr.Add(dec)
+	if empty != 0 {
+		s.emptyCtr.Add(empty)
+	}
+	st.interp.FlushStats(dec)
 	s.inUse.Store(nil)
 	w.wg.Done()
 }

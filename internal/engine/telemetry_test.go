@@ -225,23 +225,37 @@ func TestTelemetryOverheadSmoke(t *testing.T) {
 		t.Fatalf("instrumented DecideBatch allocates %.1f times per batch, want 0", allocs)
 	}
 
-	bestNs := func(e *Engine) float64 {
-		best := 0.0
-		for i := 0; i < 3; i++ {
-			r := testing.Benchmark(func(b *testing.B) {
-				for n := 0; n < b.N; n++ {
-					e.DecideBatch(pkts)
-				}
-			})
-			ns := float64(r.NsPerOp())
-			if best == 0 || ns < best {
-				best = ns
+	// Interleave the instrumented and plain measurements so a slow-drifting
+	// co-tenant (cache or memory-bandwidth contention) hits both columns
+	// alike instead of skewing whichever engine it happened to overlap;
+	// minima then compare like against like.
+	measure := func(e *Engine) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				e.DecideBatch(pkts)
 			}
-		}
-		return best
+		})
+		return float64(r.NsPerOp())
 	}
-	instNs := bestNs(inst)
-	plainNs := bestNs(plain)
+	// Alternating which engine goes first each round keeps a ramping or
+	// decaying contention episode from always landing on the same column.
+	instNs, plainNs := 0.0, 0.0
+	for i := 0; i < 4; i++ {
+		a, b := inst, plain
+		if i%2 == 1 {
+			a, b = plain, inst
+		}
+		na, nb := measure(a), measure(b)
+		if a == plain {
+			na, nb = nb, na
+		}
+		if instNs == 0 || na < instNs {
+			instNs = na
+		}
+		if plainNs == 0 || nb < plainNs {
+			plainNs = nb
+		}
+	}
 	overhead := instNs/plainNs - 1
 	t.Logf("plain %.0f ns/batch, instrumented %.0f ns/batch, overhead %.2f%%", plainNs, instNs, overhead*100)
 	if overhead > 0.05 {

@@ -44,10 +44,11 @@ func NewKUFPU(table *smbm.SMBM, maxLen int, cfg UFPUConfig) (*KUFPU, error) {
 	if maxLen <= 0 {
 		return nil, fmt.Errorf("filter: K-UFPU length must be positive, got %d", maxLen)
 	}
+	scratch := bitvec.NewBatch(table.Capacity(), 2)
 	k := &KUFPU{
 		units: make([]*UFPU, maxLen), table: table,
-		cur:  bitvec.New(table.Capacity()),
-		unit: bitvec.New(table.Capacity()),
+		cur:  scratch[0],
+		unit: scratch[1],
 	}
 	for i := range k.units {
 		c := cfg
@@ -71,6 +72,10 @@ func (k *KUFPU) Table() *smbm.SMBM { return k.table }
 // Config returns the common configuration of the chain's units (seed as
 // given to unit 0).
 func (k *KUFPU) Config() UFPUConfig { return k.units[0].cfg }
+
+// Stateful reports whether the chain's opcode keeps state across
+// executions (see UnaryOp.Stateful).
+func (k *KUFPU) Stateful() bool { return k.units[0].cfg.Op.Stateful() }
 
 // ResetState resets the runtime state of every unit in the chain.
 func (k *KUFPU) ResetState() {
@@ -98,14 +103,24 @@ func (k *KUFPU) ExecInto(out, in *bitvec.Vector, kActive int) {
 	if kActive < 0 || kActive > len(k.units) {
 		panic(fmt.Sprintf("filter: K=%d outside [0,%d]", kActive, len(k.units)))
 	}
+	if kActive == 1 {
+		// Degenerate chain: O = O_1 and the I/O generators are identities
+		// (I_1 = I, no residual is consumed downstream), so the unit writes
+		// the chain output register directly with no copy/union/difference
+		// passes. This is the common case — every compiled non-top-K
+		// operator runs with K=1.
+		k.units[0].ExecInto(out, in)
+		return
+	}
 	out.Reset()
 	cur := k.cur
 	cur.CopyFrom(in)
 	for i := 0; i < kActive; i++ {
 		oi := k.unit
 		k.units[i].ExecInto(oi, cur)
-		out.Or(out, oi)     // running union (I/O generator)
-		cur.AndNot(cur, oi) // I_{i+1} = I_i − O_i (I/O generator)
+		// One fused pass per I/O generator (Equation 1): O ∪= O_i and
+		// I_{i+1} = I_i − O_i.
+		bitvec.OrAndNot(out, cur, oi)
 	}
 	// Units beyond kActive execute no-op on the residual input; their
 	// outputs do not join the union (Figure 12's bypass circuit). They

@@ -51,6 +51,14 @@ func (op UnaryOp) NeedsAttr() bool {
 	return false
 }
 
+// Stateful reports whether the opcode keeps selection state across
+// executions (the round-robin pointer, the random LFSR). A unit running a
+// stateless opcode over an unchanged table produces the same output table
+// on every execution — the property version-keyed read-side caches rely on.
+func (op UnaryOp) Stateful() bool {
+	return op == URoundRobin || op == URandom
+}
+
 // BinaryOp selects the operation a BFPU performs (§4.1.2).
 type BinaryOp uint8
 

@@ -2,6 +2,7 @@ package filter
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bitvec"
 	"repro/internal/hw"
@@ -37,13 +38,16 @@ type UFPU struct {
 	w      int64
 	clock  hw.Clock
 
-	// Reusable scratch vectors (width = table capacity), modeling the
-	// unit's fixed temp_list registers: masked holds the input ∧ membership
-	// intersection, valid the per-sorted-position validity bits. Using
-	// fixed scratch instead of fresh allocations keeps steady-state Exec
-	// at zero heap allocations.
-	masked *bitvec.Vector
-	valid  *bitvec.Vector
+	// Predicate satisfying set, predicate units only: bit id set iff the
+	// resource's attrX value satisfies rel_op val. In hardware this is the
+	// comparator column latched against the sorted dimension; here it is
+	// rebuilt only when the table's version counter moves, so steady-state
+	// predicate evaluation is one word-parallel AND instead of a
+	// per-position scan. satVersion is the table version sat was built
+	// against; satFresh distinguishes "never built" from version 0.
+	sat        *bitvec.Vector
+	satVersion uint64
+	satFresh   bool
 }
 
 // NewUFPU creates a UFPU bound to the given resource table with the given
@@ -60,11 +64,11 @@ func NewUFPU(table *smbm.SMBM, cfg UFPUConfig) (*UFPU, error) {
 	if cfg.Op > URandom {
 		return nil, fmt.Errorf("filter: invalid unary opcode %d", cfg.Op)
 	}
-	return &UFPU{
-		cfg: cfg, table: table, lfsr: hw.NewLFSR(cfg.Seed), lastID: -1,
-		masked: bitvec.New(table.Capacity()),
-		valid:  bitvec.New(table.Capacity()),
-	}, nil
+	u := &UFPU{cfg: cfg, table: table, lfsr: hw.NewLFSR(cfg.Seed), lastID: -1}
+	if cfg.Op == UPredicate {
+		u.sat = bitvec.New(table.Capacity())
+	}
+	return u, nil
 }
 
 // Config returns the unit's compile-time configuration.
@@ -116,35 +120,36 @@ func (u *UFPU) ExecInto(out, in *bitvec.Vector) {
 		// entries whose resource is absent from the input vector.
 		// Cycle 2: apply the predicate to each valid entry in parallel and
 		// set output bits through the reverse map.
-		d := u.table.Dim(u.cfg.Attr)
-		for p := 0; p < d.Len(); p++ {
-			id := d.ID(p)
-			if in.Get(id) && u.cfg.Rel.Eval(d.Value(p), u.cfg.Val) {
-				out.Set(id)
-			}
+		//
+		// The comparator outputs depend only on table contents, so the
+		// model caches them as a satisfying-set vector keyed on the
+		// table's version counter: between writes, the two hardware
+		// cycles reduce to one word-parallel AND.
+		if !u.satFresh || u.satVersion != u.table.Version() {
+			u.rebuildSat()
 		}
+		out.And(in, u.sat)
 
 	case UMin, UMax:
 		// Cycle 1: copy sorted attrX list with masking. Cycle 2: priority-
-		// encode the first (min) or last (max) valid entry. The valid
-		// scratch is capacity-wide; only positions < d.Len() are ever set,
-		// so the priority encoders see exactly the sorted list.
-		d := u.table.Dim(u.cfg.Attr)
-		valid := u.valid
-		valid.Reset()
-		for p := 0; p < d.Len(); p++ {
-			if in.Get(d.ID(p)) {
-				valid.Set(p)
+		// encode the first (min) or last (max) valid entry. Equivalent to
+		// the encoder over the masked sorted list: among ids present in
+		// both the input and the table, select the one with the smallest
+		// (min) or largest (max) sorted position — computed in O(popcount)
+		// via the id-indexed position column instead of an O(N) scan.
+		mem := u.table.MembersView()
+		bestPos, bestID := -1, -1
+		for wi, nw := 0, in.NumWords(); wi < nw; wi++ {
+			for m := in.Word(wi) & mem.Word(wi); m != 0; m &= m - 1 {
+				id := wi*64 + bits.TrailingZeros64(m)
+				p := u.table.PosInDim(id, u.cfg.Attr)
+				if bestPos < 0 || (u.cfg.Op == UMin && p < bestPos) || (u.cfg.Op == UMax && p > bestPos) {
+					bestPos, bestID = p, id
+				}
 			}
 		}
-		var pos int
-		if u.cfg.Op == UMin {
-			pos = hw.PriorityEncodeFirst(valid)
-		} else {
-			pos = hw.PriorityEncodeLast(valid)
-		}
-		if pos >= 0 {
-			out.Set(d.ID(pos))
+		if bestID >= 0 {
+			out.Set(bestID)
 		}
 
 	case URoundRobin:
@@ -152,15 +157,33 @@ func (u *UFPU) ExecInto(out, in *bitvec.Vector) {
 
 	case URandom:
 		// Cycle 1: LFSR produces a random index r. Cycle 2: if in[r] is
-		// set select r, else select the first set bit cyclically after r.
+		// set (and the resource is a live member) select r, else select
+		// the first set bit of the masked input cyclically after r. The
+		// membership mask fuses into the rotated priority encode, so no
+		// intermediate in ∧ members vector is materialized.
 		r := u.lfsr.NextBelow(in.Len())
-		masked := u.maskToMembers(in)
-		if masked.Get(r) {
+		mem := u.table.MembersView()
+		if in.Get(r) && mem.Get(r) {
 			out.Set(r)
-		} else if i := hw.PriorityEncodeRotated(masked, r); i >= 0 {
+		} else if i := hw.PriorityEncodeRotatedAnd(in, mem, r); i >= 0 {
 			out.Set(i)
 		}
 	}
+}
+
+// rebuildSat recomputes the predicate satisfying set from the sorted attrX
+// dimension. Runs off the steady path: only when the table version moved
+// since the last rebuild (probe writes), and amortized across all decisions
+// until the next write.
+func (u *UFPU) rebuildSat() {
+	u.sat.Reset()
+	d := u.table.Dim(u.cfg.Attr)
+	for p := 0; p < d.Len(); p++ {
+		if u.cfg.Rel.Eval(d.Value(p), u.cfg.Val) {
+			u.sat.Set(d.ID(p))
+		}
+	}
+	u.satVersion, u.satFresh = u.table.Version(), true
 }
 
 // execRoundRobin implements the weighted round-robin datapath of §5.2.1.
@@ -180,11 +203,11 @@ func (u *UFPU) ExecInto(out, in *bitvec.Vector) {
 // back to last_id only if it is the sole valid input), which is the
 // behaviour the surrounding text describes.
 func (u *UFPU) execRoundRobin(in, out *bitvec.Vector) {
-	masked := u.maskToMembers(in)
-	if !masked.Any() {
+	mem := u.table.MembersView()
+	if !bitvec.AndAny(in, mem) {
 		return
 	}
-	if u.lastID >= 0 && masked.Get(u.lastID) && u.w <= u.weightOf(u.lastID) {
+	if u.lastID >= 0 && in.Get(u.lastID) && mem.Get(u.lastID) && u.w <= u.weightOf(u.lastID) {
 		out.Set(u.lastID)
 		u.w++
 		return
@@ -193,7 +216,7 @@ func (u *UFPU) execRoundRobin(in, out *bitvec.Vector) {
 	if u.lastID >= 0 {
 		start = (u.lastID + 1) % in.Len()
 	}
-	i := hw.PriorityEncodeRotated(masked, start)
+	i := hw.PriorityEncodeRotatedAnd(in, mem, start)
 	out.Set(i)
 	u.lastID, u.w = i, 1
 }
@@ -206,14 +229,4 @@ func (u *UFPU) weightOf(id int) int64 {
 		return 0
 	}
 	return v
-}
-
-// maskToMembers intersects the input vector with the table's current
-// membership, modeling the NULL-masking the reverse map performs on the
-// temp_list for ids that are set in the input vector but absent from the
-// table. The result lives in the unit's masked scratch register and is
-// valid until the next Exec.
-func (u *UFPU) maskToMembers(in *bitvec.Vector) *bitvec.Vector {
-	u.masked.And(in, u.table.MembersView())
-	return u.masked
 }

@@ -142,3 +142,70 @@ func TestFullSetIsWellFormed(t *testing.T) {
 		}
 	}
 }
+
+// TestMergeTakesMinimum pins the retry-gate contract: merging a
+// re-measurement keeps the minimum across runs and appends the new
+// repetitions, and benchmarks absent from the original are not adopted.
+func TestMergeTakesMinimum(t *testing.T) {
+	cp := &Checkpoint{Benchmarks: map[string]Result{
+		"A": {Iters: 10, NsPerOp: 100, RepsNs: []float64{120, 100}},
+		"B": {Iters: 10, NsPerOp: 50, RepsNs: []float64{50}},
+	}}
+	cp.Merge(&Checkpoint{Benchmarks: map[string]Result{
+		"A": {Iters: 10, NsPerOp: 80, RepsNs: []float64{90, 80}},
+		"B": {Iters: 10, NsPerOp: 70, RepsNs: []float64{70}},
+		"C": {Iters: 10, NsPerOp: 1, RepsNs: []float64{1}},
+	}})
+	if got := cp.Benchmarks["A"].NsPerOp; got != 80 {
+		t.Errorf("A min = %v after merge, want 80", got)
+	}
+	if got := len(cp.Benchmarks["A"].RepsNs); got != 4 {
+		t.Errorf("A has %d reps after merge, want 4", got)
+	}
+	if got := cp.Benchmarks["B"].NsPerOp; got != 50 {
+		t.Errorf("B min = %v after merge, want 50 (slower re-run must not raise it)", got)
+	}
+	if _, ok := cp.Benchmarks["C"]; ok {
+		t.Error("merge adopted benchmark C absent from the original checkpoint")
+	}
+}
+
+func TestSubsetPreservesOrder(t *testing.T) {
+	set := []Benchmark{{Name: "A"}, {Name: "B"}, {Name: "C"}}
+	got := Subset(set, map[string]bool{"C": true, "A": true, "X": true})
+	if len(got) != 2 || got[0].Name != "A" || got[1].Name != "C" {
+		t.Errorf("Subset = %v, want [A C] in set order", got)
+	}
+}
+
+// TestCompareUsesWorseCalibration pins the two-yardstick normalization: a
+// benchmark inflated purely by memory contention (tracked by the streaming
+// calibration, invisible to the ALU spin) must not gate, and a baseline
+// without the memory calibration falls back to ALU-only normalization.
+func TestCompareUsesWorseCalibration(t *testing.T) {
+	base := &Checkpoint{Benchmarks: map[string]Result{
+		CalibrationName:    {NsPerOp: 100},
+		MemCalibrationName: {NsPerOp: 1000},
+		"Hot":              {NsPerOp: 500},
+	}}
+	fresh := &Checkpoint{Benchmarks: map[string]Result{
+		CalibrationName:    {NsPerOp: 100},  // ALU speed unchanged
+		MemCalibrationName: {NsPerOp: 1300}, // memory 30% contended
+		"Hot":              {NsPerOp: 625},  // +25% raw, within mem inflation
+	}}
+	cmp := Compare(base, fresh, nil)
+	if cmp.CalRatio != 1.3 {
+		t.Errorf("CalRatio = %v, want 1.3 (worse of alu 1.0, mem 1.3)", cmp.CalRatio)
+	}
+	for _, d := range cmp.Deltas {
+		if d.Name == "Hot" && d.Regression {
+			t.Errorf("Hot flagged: norm %v vs threshold %v, but inflation is within memory contention", d.Norm, d.Threshold)
+		}
+	}
+
+	delete(base.Benchmarks, MemCalibrationName)
+	cmp = Compare(base, fresh, nil)
+	if cmp.CalRatio != 1.0 {
+		t.Errorf("CalRatio = %v without baseline mem calibration, want ALU-only 1.0", cmp.CalRatio)
+	}
+}

@@ -33,16 +33,21 @@ const (
 	churnCycle = 3 * churnN
 )
 
-// Gate bands. Hot-path kernels (the benchmarks this repository's perf PRs
-// actually target) keep the tight DefaultThreshold. Experiment tables run
-// whole compile+execute sweeps, and the figure benchmarks are multi-ms
-// wall-clock simulations whose run-to-run minimum drifts with background
-// load on shared single-CPU machines — measured spreads up to ~30% between
-// checkpoints of identical code — so they carry wider bands: tracked for
-// trajectory, gated only against gross regressions.
+// Gate bands, classified by how a benchmark responds to co-tenant load on
+// a shared machine. The long hot-path loops (the benchmarks this
+// repository's perf PRs actually target) are cache-resident and empirically
+// stable even under contention, so they keep the tight DefaultThreshold.
+// The ns-scale bit-vector kernels are ALU-bound but so short that code
+// alignment shifts from unrelated edits move them ±20-30% between builds of
+// equivalent code; kernelThreshold covers that jitter. The experiment
+// tables and the compile path are allocator- and memory-bandwidth-bound —
+// exactly the class a pure-ALU calibration spin cannot normalize, with
+// measured spreads up to ~40% under sustained co-tenant pressure — and the
+// figure benchmarks are multi-ms wall-clock simulations; both carry the
+// wide band: tracked for trajectory, gated only against gross regressions.
 const (
-	kernelThreshold = 0.25
-	tableThreshold  = 0.25
+	kernelThreshold = 0.35
+	tableThreshold  = 0.50
 	simThreshold    = 0.50
 )
 
@@ -63,6 +68,35 @@ func calibrationBench() Benchmark {
 			}
 			if x == 0 {
 				panic("perfcheck: calibration")
+			}
+		}, nil
+	}}
+}
+
+// calibrationMem is a fixed sequential stream over a buffer far larger than
+// LLC. Its ns/op tracks effective memory bandwidth — the resource co-tenant
+// load contends for that the ALU spin cannot see — and nothing about this
+// repository's code. Compare normalizes by the worse of the two
+// calibration ratios.
+const memCalWords = 1 << 20 // 8 MiB of uint64, ~1 LLC-busting working set
+
+func calibrationMemBench() Benchmark {
+	return Benchmark{Name: MemCalibrationName, Iters: 2000, Setup: func() (func(int), error) {
+		buf := make([]uint64, memCalWords)
+		for i := range buf {
+			buf[i] = uint64(i)*2654435761 + 1
+		}
+		return func(i int) {
+			// Each iteration streams a rotating 64 KiB window, so across the
+			// pinned iteration count the whole buffer cycles through and the
+			// cache cannot hold the working set.
+			base := (i * 8192) & (memCalWords - 1)
+			var x uint64
+			for r := 0; r < 8192; r++ {
+				x += buf[(base+r)&(memCalWords-1)]
+			}
+			if x == ^uint64(0) {
+				panic("perfcheck: memory calibration")
 			}
 		}, nil
 	}}
@@ -149,6 +183,7 @@ func Set() []Benchmark {
 		{Name: "FilterModuleDecide", Iters: 50000, Setup: setupFilterModuleDecide},
 		{Name: "SMBMUpdate", Iters: 50000, Setup: setupSMBMUpdate},
 		{Name: "SMBMUpdateChurn", Iters: 4 * churnCycle, Setup: setupSMBMUpdateChurn},
+		{Name: "SMBMUpdateBatch", Iters: 20000, Threshold: tableThreshold, Setup: setupSMBMUpdateBatch},
 		{Name: "EngineDecideBatch", Iters: 100, Reps: 3, Threshold: simThreshold, Setup: setupEngineDecideBatch},
 	}
 }
@@ -190,6 +225,35 @@ func setupSMBMUpdate() (func(int), error) {
 	return func(i int) {
 		vals[0] = int64(i % 997)
 		if err := table.Update(i%128, vals); err != nil {
+			panic(err)
+		}
+	}, nil
+}
+
+// setupSMBMUpdateBatch is the amortized probe-processing path: one
+// 16-resource UpdateBatch per iteration on a full table (one sort + merge
+// per dimension instead of 16 independent shifted writes).
+func setupSMBMUpdateBatch() (func(int), error) {
+	const batch = 16
+	table := smbm.New(128, 4)
+	r := rand.New(rand.NewSource(5))
+	for id := 0; id < 128; id++ {
+		if err := table.Add(id, []int64{int64(r.Intn(1000)), int64(r.Intn(1000)), int64(r.Intn(1000)), int64(r.Intn(1000))}); err != nil {
+			return nil, err
+		}
+	}
+	ids := make([]int, batch)
+	metrics := make([][]int64, batch)
+	for j := range metrics {
+		metrics[j] = make([]int64, 4)
+	}
+	return func(i int) {
+		for j := 0; j < batch; j++ {
+			ids[j] = (i*batch + j) % 128
+			metrics[j][0] = int64((i + j) % 997)
+			metrics[j][1], metrics[j][2], metrics[j][3] = 1, 2, 3
+		}
+		if err := table.UpdateBatch(ids, metrics); err != nil {
 			panic(err)
 		}
 	}, nil
@@ -313,13 +377,53 @@ func bitvecSet() []Benchmark {
 				}
 			}, nil
 		}},
+		{Name: "BitvecRank", Iters: 500000, Threshold: kernelThreshold, Setup: func() (func(int), error) {
+			a, _ := build()
+			return func(i int) {
+				if a.Rank(i%(n+1)) < 0 {
+					panic("perfcheck: negative rank")
+				}
+			}, nil
+		}},
+		{Name: "BitvecSelect", Iters: 500000, Threshold: kernelThreshold, Setup: func() (func(int), error) {
+			a, _ := build()
+			c := a.Count()
+			return func(i int) {
+				if a.Select(i%c) < 0 {
+					panic("perfcheck: select out of range")
+				}
+			}, nil
+		}},
+		{Name: "BitvecAndFirstSet", Iters: 500000, Threshold: kernelThreshold, Setup: func() (func(int), error) {
+			a, b := build()
+			return func(int) {
+				if bitvec.AndFirstSet(a, b) < 0 {
+					panic("perfcheck: empty intersection")
+				}
+			}, nil
+		}},
+		{Name: "BitvecAndNextSetCyclic", Iters: 500000, Threshold: kernelThreshold, Setup: func() (func(int), error) {
+			a, b := build()
+			return func(i int) {
+				if bitvec.AndNextSetCyclic(a, b, i%n) < 0 {
+					panic("perfcheck: empty intersection")
+				}
+			}, nil
+		}},
+		{Name: "BitvecAndInto", Iters: 500000, Threshold: kernelThreshold, Setup: func() (func(int), error) {
+			a, b := build()
+			c := a.Clone()
+			out := bitvec.New(n)
+			return func(int) { out.AndInto(a, b, c) }, nil
+		}},
 	}
 }
 
-// FullSet is the complete checkpoint benchmark set: the calibration spin,
-// the end-to-end and write-path workloads, and the kernel microbenchmarks.
+// FullSet is the complete checkpoint benchmark set: the two calibration
+// workloads (ALU spin and memory stream), the end-to-end and write-path
+// workloads, and the kernel microbenchmarks.
 func FullSet() []Benchmark {
-	set := []Benchmark{calibrationBench()}
+	set := []Benchmark{calibrationBench(), calibrationMemBench()}
 	set = append(set, Set()...)
 	return append(set, bitvecSet()...)
 }

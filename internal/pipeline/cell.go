@@ -88,10 +88,11 @@ func NewCell(table *smbm.SMBM, maxChain int, cfg CellConfig) (*Cell, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: cell BFPU 2: %w", err)
 	}
+	regs := bitvec.NewBatch(table.Capacity(), 2)
 	return &Cell{
 		cfg: cfg, u1: u1, u2: u2, b1: b1, b2: b2,
-		t1: bitvec.New(table.Capacity()),
-		t2: bitvec.New(table.Capacity()),
+		t1: regs[0],
+		t2: regs[1],
 	}, nil
 }
 

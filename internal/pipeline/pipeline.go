@@ -175,16 +175,16 @@ func New(table *smbm.SMBM, cfg Config) (*Pipeline, error) {
 		}
 		p.xbars = append(p.xbars, xb)
 	}
+	// Both line banks and the all-zeros table live in one cache-line-
+	// aligned arena, so a stage's reads and writes walk contiguous memory
+	// instead of pointer-chasing per-line allocations.
 	width := table.Capacity()
-	for b := range p.banks {
-		p.banks[b] = make([]*bitvec.Vector, n)
-		for i := range p.banks[b] {
-			p.banks[b][i] = bitvec.New(width)
-		}
-	}
+	arena := bitvec.NewBatch(width, 2*n+1)
+	p.banks[0] = arena[:n]
+	p.banks[1] = arena[n : 2*n]
+	p.empty = arena[2*n]
 	p.inRefs = make([]*bitvec.Vector, n)
 	p.lineRefs = make([]*bitvec.Vector, n)
-	p.empty = bitvec.New(width)
 	for si := range p.stages {
 		p.stageLabels = append(p.stageLabels, fmt.Sprintf("stage%d", si))
 		p.stageCycles = append(p.stageCycles, uint32(p.xbarLat+p.stages[si][0].Latency()))

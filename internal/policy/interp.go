@@ -20,7 +20,11 @@ import (
 //
 // Construction flattens the expression DAG into a linear program (one step
 // per node, in dependency order) with a fixed result buffer per step, so
-// steady-state Exec touches no maps and performs no heap allocations.
+// steady-state Exec touches no maps and performs no heap allocations. Two
+// layout optimizations apply: unshared intersect chains collapse into one
+// multi-operand AND step (same tables, fewer output passes), and all step
+// buffers are carved from a single cache-line-aligned bitvec arena so the
+// program's working set is contiguous in memory.
 type Interp struct {
 	table  *smbm.SMBM
 	schema Schema
@@ -32,23 +36,51 @@ type Interp struct {
 	labels []string         // labels[i] = source expression of step i, for telemetry
 	cycles []uint32         // cycles[i] = modeled latency of step i (§5.2)
 	stats  *telemetry.ChainStats
-	// pendInv/pendCand batch per-step counts between FlushStats calls so the
-	// per-decision cost of chain telemetry is plain integer adds, not one
-	// atomic RMW per step. Only the interpreter's owning goroutine touches
-	// them; the shared ChainStats counters absorb the deltas on flush.
-	pendInv  []uint64
-	pendCand []uint64
+
+	// Telemetry needs the candidate-set popcount after every step, but the
+	// interpreter runs over the table with no per-execution input, so most
+	// steps repeat themselves between table versions. Two levels of
+	// "varies per execution" matter here:
+	//
+	//   - dynContent: the step's output table differs between executions
+	//     at a fixed table version — true iff a stateful unit (random,
+	//     round-robin) feeds the step.
+	//   - dynPop: the step's output POPCOUNT differs between executions.
+	//     Strictly narrower: a selection unit over a content-static input
+	//     always emits the same number of entries (one per active chain
+	//     position while candidates remain, zero after), so its popcount
+	//     is version-static even though which entries it picks is not.
+	//     Only steps downstream of a stateful unit's output are dynPop.
+	//
+	// Telemetry consumes popcounts only, so accounting keys on dynPop:
+	// pop-static counts are computed once per table version into cachedPop
+	// and charged in bulk (n × cachedPop) when FlushStats(n) publishes,
+	// while the (typically zero) dynPop steps accumulate per execution via
+	// dynIdx into pendCand. A policy with no dynPop steps therefore pays
+	// NOTHING per execution for exact per-step candidate accounting — two
+	// pointer loads and an untaken branch. Only the interpreter's owning
+	// goroutine touches any of this; the shared ChainStats counters absorb
+	// the deltas on FlushStats.
+	dynContent []bool
+	dynPop     []bool
+	dynIdx     []int // indices of dynPop steps, for the post-exec count pass
+	cachedPop  []uint32
+	popVersion uint64
+	popValid   bool
+	pendCand   []uint64 // dynPop per-step candidate sums awaiting FlushStats
 }
 
 // interpStep is one instruction of the flattened evaluation program. Table
 // steps are free at run time (their value slot is the SMBM's live membership
-// view); unary/binary steps run their dedicated unit into the step's buffer.
+// view); unary/binary steps run their dedicated unit into the step's buffer;
+// fused steps reduce a whole intersect chain in one batched AND pass.
 type interpStep struct {
-	kind stepKind
-	unit *filter.KUFPU // stepUnary
-	k    int           // stepUnary: active chain length
-	bin  *filter.BFPU  // stepBinary
-	a, b int           // operand step indices (a only, for stepUnary)
+	kind  stepKind
+	unit  *filter.KUFPU    // stepUnary
+	k     int              // stepUnary: active chain length
+	bin   *filter.BFPU     // stepBinary
+	a, b  int              // operand step indices (a only, for stepUnary)
+	fsrcs []*bitvec.Vector // stepFused: operand buffers, bound at build
 }
 
 type stepKind uint8
@@ -57,6 +89,13 @@ const (
 	stepTable stepKind = iota
 	stepUnary
 	stepBinary
+	// stepFused is a left-to-right intersect chain collapsed into one
+	// multi-operand AND (bitvec.AndInto): out = src0 ∧ src1 ∧ ... ∧ srcN.
+	// Only chains of unshared, non-output intersect nodes fuse, so every
+	// table a later step (or an output) reads still has its own buffer.
+	// The fused step charges the same summed BFPU cycles the unfused chain
+	// would, keeping trace latency accounting identical in total.
+	stepFused
 )
 
 // NewInterp builds an interpreter for the policy over the given table. The
@@ -73,6 +112,41 @@ func NewInterp(table *smbm.SMBM, schema Schema, p *Policy) (*Interp, error) {
 	}
 	it := &Interp{table: table, schema: schema, policy: p}
 	seeds := AssignSeeds(p)
+	// Pre-pass: count each node's references (a node used more than once
+	// must keep its own step so sharers read one buffer) and mark output
+	// roots (their buffers are handed to Resolve). The unique non-table
+	// node count bounds the number of step buffers, which are carved from
+	// one cache-line-aligned arena so a decision's working set is
+	// contiguous.
+	uses := make(map[Expr]int)
+	outRoot := make(map[Expr]bool)
+	nonTable := 0
+	var scan func(e Expr)
+	scan = func(e Expr) {
+		uses[e]++
+		if uses[e] > 1 {
+			return
+		}
+		switch n := e.(type) {
+		case *Unary:
+			nonTable++
+			scan(n.Input)
+		case *Binary:
+			nonTable++
+			scan(n.Left)
+			scan(n.Right)
+		}
+	}
+	for _, o := range p.Outputs {
+		outRoot[o.Expr] = true
+		scan(o.Expr)
+	}
+	arena := bitvec.NewBatch(table.Capacity(), nonTable)
+	nextBuf := func() *bitvec.Vector {
+		v := arena[0]
+		arena = arena[1:]
+		return v
+	}
 	idx := make(map[Expr]int) // build-time only; Exec never touches maps
 	var build func(e Expr) (int, error)
 	build = func(e Expr) (int, error) {
@@ -88,6 +162,8 @@ func NewInterp(table *smbm.SMBM, schema Schema, p *Policy) (*Interp, error) {
 			it.vals = append(it.vals, table.MembersView())
 			it.labels = append(it.labels, n.String())
 			it.cycles = append(it.cycles, 0) // the table view is free (§5.1.4)
+			it.dynContent = append(it.dynContent, false)
+			it.dynPop = append(it.dynPop, false)
 			idx[e] = i
 			return i, nil
 		case *Unary:
@@ -105,12 +181,49 @@ func NewInterp(table *smbm.SMBM, schema Schema, p *Policy) (*Interp, error) {
 			}
 			i := len(it.prog)
 			it.prog = append(it.prog, interpStep{kind: stepUnary, unit: u, k: k, a: a})
-			it.vals = append(it.vals, bitvec.New(table.Capacity()))
+			it.vals = append(it.vals, nextBuf())
 			it.labels = append(it.labels, n.String())
 			it.cycles = append(it.cycles, uint32(u.Latency()))
+			it.dynContent = append(it.dynContent, u.Stateful() || it.dynContent[a])
+			// A unary step's popcount varies only when its input's CONTENT
+			// does: every opcode (copy, predicate, or selection) emits a
+			// deterministic count for a fixed input table. No-op forwards
+			// the input unchanged, so it inherits the input's pop class.
+			if n.Op == filter.UNoOp {
+				it.dynPop = append(it.dynPop, it.dynPop[a])
+			} else {
+				it.dynPop = append(it.dynPop, it.dynContent[a])
+			}
 			idx[e] = i
 			return i, nil
 		case *Binary:
+			// An n-ary intersect parses as a left-leaning chain of binary
+			// nodes. When the interior nodes are unshared and not outputs,
+			// no other step ever reads their intermediate tables, so the
+			// whole chain collapses into one batched AND over its leaves —
+			// the same result with one output pass instead of one per node.
+			if leaves := fuseAndLeaves(n, uses, outRoot); leaves != nil {
+				fsrcs := make([]*bitvec.Vector, len(leaves))
+				dyn := false
+				for j, leaf := range leaves {
+					li, err := build(leaf)
+					if err != nil {
+						return 0, err
+					}
+					fsrcs[j] = it.vals[li]
+					dyn = dyn || it.dynContent[li]
+				}
+				i := len(it.prog)
+				it.prog = append(it.prog, interpStep{kind: stepFused, fsrcs: fsrcs})
+				it.vals = append(it.vals, nextBuf())
+				it.labels = append(it.labels, n.String())
+				// Same total as the (len(leaves)-1)-node BFPU chain.
+				it.cycles = append(it.cycles, uint32(len(leaves)-1)*filter.BFPUCycles)
+				it.dynContent = append(it.dynContent, dyn)
+				it.dynPop = append(it.dynPop, dyn)
+				idx[e] = i
+				return i, nil
+			}
 			a, err := build(n.Left)
 			if err != nil {
 				return 0, err
@@ -125,9 +238,14 @@ func NewInterp(table *smbm.SMBM, schema Schema, p *Policy) (*Interp, error) {
 			}
 			i := len(it.prog)
 			it.prog = append(it.prog, interpStep{kind: stepBinary, bin: b, a: a, b: bIdx})
-			it.vals = append(it.vals, bitvec.New(table.Capacity()))
+			it.vals = append(it.vals, nextBuf())
 			it.labels = append(it.labels, n.String())
 			it.cycles = append(it.cycles, uint32(filter.BFPUCycles))
+			// A set operation over content-dynamic operands has a
+			// content-dependent (so execution-dependent) result size.
+			dyn := it.dynContent[a] || it.dynContent[bIdx]
+			it.dynContent = append(it.dynContent, dyn)
+			it.dynPop = append(it.dynPop, dyn)
 			idx[e] = i
 			return i, nil
 		}
@@ -141,7 +259,42 @@ func NewInterp(table *smbm.SMBM, schema Schema, p *Policy) (*Interp, error) {
 		it.outIdx = append(it.outIdx, si)
 	}
 	it.outs = make([]*bitvec.Vector, len(p.Outputs))
+	it.cachedPop = make([]uint32, len(it.prog))
+	for i, dyn := range it.dynPop {
+		if dyn {
+			it.dynIdx = append(it.dynIdx, i)
+		}
+	}
 	return it, nil
+}
+
+// fuseAndLeaves decides whether the intersect chain rooted at n collapses
+// into one fused AND step, and if so returns its leaf expressions in
+// left-to-right source order. A descendant intersect node is absorbed only
+// when it is referenced exactly once (unshared) and is not itself a policy
+// output — in both of those cases another reader needs the intermediate
+// table, so the node keeps its own step. Chains of fewer than three leaves
+// return nil: a two-input intersect is already a single BFPU pass.
+func fuseAndLeaves(n *Binary, uses map[Expr]int, outRoot map[Expr]bool) []Expr {
+	if n.Op != filter.BIntersect {
+		return nil
+	}
+	var leaves []Expr
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		if b, ok := e.(*Binary); ok && b.Op == filter.BIntersect && uses[e] == 1 && !outRoot[e] {
+			walk(b.Left)
+			walk(b.Right)
+			return
+		}
+		leaves = append(leaves, e)
+	}
+	walk(n.Left)
+	walk(n.Right)
+	if len(leaves) < 3 {
+		return nil
+	}
+	return leaves
 }
 
 // unaryConfig converts a unary AST node into a UFPU configuration plus the
@@ -224,32 +377,51 @@ func (it *Interp) AttachTelemetry(cs *telemetry.ChainStats) {
 		panic(fmt.Sprintf("policy: ChainStats has %d steps, interpreter has %d", cs.Steps(), len(it.prog)))
 	}
 	it.stats = cs
-	it.pendInv, it.pendCand = nil, nil
+	it.pendCand = nil
+	it.popValid = false
 	if cs != nil {
-		it.pendInv = make([]uint64, len(it.prog))
 		it.pendCand = make([]uint64, len(it.prog))
 	}
 }
 
-// FlushStats publishes the per-step counts accumulated since the last flush
-// into the attached ChainStats. Callers pick the publication granularity:
-// the sharded engine flushes once per work chunk, the single-threaded
-// module once per decision. No-op without attached telemetry.
+// FlushStats publishes per-step counts for the n executions performed since
+// the previous flush into the attached ChainStats. Callers pick the
+// publication granularity: the sharded engine flushes once per work chunk
+// (its snapshot's table is pinned for the chunk), the single-threaded
+// module once per decision. All n executions must have run at the table's
+// current version — flush before mutating the table — which lets the flush
+// charge every pop-static step n × its cached popcount without any
+// per-execution bookkeeping. The cache refreshes here, from the step
+// buffers the last execution left behind, whenever the version moved.
+// No-op without attached telemetry or when n is zero.
 //
 //thanos:hotpath
-func (it *Interp) FlushStats() {
+func (it *Interp) FlushStats(n uint64) {
 	cs := it.stats
-	if cs == nil {
+	if cs == nil || n == 0 {
 		return
 	}
-	for i := range it.pendInv {
-		if n := it.pendInv[i]; n != 0 {
-			cs.Invocations[i].Add(n)
-			it.pendInv[i] = 0
+	if ver := it.table.Version(); !it.popValid || it.popVersion != ver {
+		for i, dyn := range it.dynPop {
+			if !dyn {
+				it.cachedPop[i] = uint32(it.vals[i].Count())
+			}
 		}
-		if n := it.pendCand[i]; n != 0 {
-			cs.Candidates[i].Add(n)
+		it.popVersion, it.popValid = ver, true
+	}
+	for i := range it.pendCand {
+		// Every step executes exactly once per execution, so one shared
+		// count covers all invocation columns.
+		cs.Invocations[i].Add(n)
+		var c uint64
+		if it.dynPop[i] {
+			c = it.pendCand[i]
 			it.pendCand[i] = 0
+		} else {
+			c = n * uint64(it.cachedPop[i])
+		}
+		if c != 0 {
+			cs.Candidates[i].Add(c)
 		}
 	}
 }
@@ -269,15 +441,15 @@ func (it *Interp) Exec() []*bitvec.Vector {
 
 // ExecTraced is Exec with provenance: when tr is non-nil the candidate-set
 // popcount after every step is recorded into it, and when chain telemetry
-// is attached each step's invocation count and cumulative popcount are
-// accumulated for the next FlushStats. Both hooks cost one popcount per
-// step plus plain integer adds and are skipped
-// entirely — a single nil check — when disabled, keeping the uninstrumented
-// path byte-for-byte the old Exec.
+// is attached each pop-dynamic step's popcount is accumulated for the next
+// FlushStats (pop-static steps are charged wholesale at flush time from
+// the version-keyed cache). Accounting stays exact but the steady-state
+// instrumented execution — stats attached, no dynPop steps, trace not
+// sampled — is byte-for-byte the uninstrumented one plus two untaken
+// branches.
 //
 //thanos:hotpath
 func (it *Interp) ExecTraced(tr *telemetry.Trace) []*bitvec.Vector {
-	cs := it.stats
 	for i := range it.prog {
 		st := &it.prog[i]
 		switch st.kind {
@@ -285,14 +457,21 @@ func (it *Interp) ExecTraced(tr *telemetry.Trace) []*bitvec.Vector {
 			st.unit.ExecInto(it.vals[i], it.vals[st.a], st.k)
 		case stepBinary:
 			st.bin.ExecInto(it.vals[i], it.vals[st.a], it.vals[st.b])
+		case stepFused:
+			it.vals[i].AndInto(st.fsrcs...)
 		}
-		if cs != nil || tr != nil {
-			pop := it.vals[i].Count()
-			if cs != nil {
-				it.pendInv[i]++
-				it.pendCand[i] += uint64(pop)
-			}
-			tr.AddStage(it.labels[i], pop, uint64(it.cycles[i]))
+	}
+	if it.dynIdx != nil && it.stats != nil {
+		for _, i := range it.dynIdx {
+			it.pendCand[i] += uint64(it.vals[i].Count())
+		}
+	}
+	if tr != nil {
+		// Sampled decisions read live popcounts: the static cache may lag
+		// the buffers mid-chunk, and a trace is rare enough that a popcount
+		// per step costs nothing at the engine level.
+		for i := range it.prog {
+			tr.AddStage(it.labels[i], it.vals[i].Count(), uint64(it.cycles[i]))
 		}
 	}
 	for i, si := range it.outIdx {

@@ -60,7 +60,7 @@ func (m *Module) Remove(id int) error {
 func (m *Module) Decide() (id int, ok bool) {
 	tr := m.tracer.Sample()
 	outs := m.interp.ExecTraced(tr)
-	m.interp.FlushStats() // single-threaded module: publish per decision
+	m.interp.FlushStats(1) // single-threaded module: publish per decision
 	res := Resolve(m.Policy, outs, 0)
 	if ds := m.stats; ds != nil {
 		ds.Decisions.Inc()

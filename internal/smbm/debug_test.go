@@ -24,9 +24,10 @@ func TestDebugAssertionFiresOnCorruption(t *testing.T) {
 		}
 	}
 
-	// Corrupt one metric→id back-pointer: entry 0 of dimension 0 now claims
-	// to describe the resource in id slot 2.
-	s.metrics[0][0].idPos = 2
+	// Corrupt one metric→id back-pointer: position 0 of dimension 0 now
+	// claims to be owned by the resource at position 1, so the id-indexed
+	// position column no longer agrees with the sorted column.
+	s.dimIDs[0][0] = s.dimIDs[0][1]
 
 	defer func() {
 		r := recover()

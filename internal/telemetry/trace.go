@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"io"
 	"sort"
-	"sync/atomic"
 )
 
 // MaxTraceStages bounds the number of chain steps a single trace can
@@ -60,19 +59,22 @@ func (tr *Trace) Finish(out, id int, ok bool) {
 }
 
 // Tracer deterministically samples one decision in every `every` and
-// records it into a fixed ring buffer. Sample costs two atomic adds on the
-// miss path and recycles a pre-allocated ring slot on the hit path — zero
-// allocation either way. Sampling is sequence-based, not time-based, so a
-// replayed workload samples exactly the same decisions.
+// records it into a fixed ring buffer. Sample costs one countdown
+// decrement and compare on the miss path and recycles a pre-allocated
+// ring slot on the hit path — zero allocation and no atomics either way.
+// Sampling is sequence-based, not time-based, so a replayed workload
+// samples exactly the same decisions.
 //
-// A Tracer assumes a single writer (the engine gives each shard its own);
-// Snapshot must only run while the writer is quiescent — the engine
-// arranges that by holding its batch lock.
+// A Tracer is strictly single-writer (the engine gives each shard its
+// own); its fields are plain, so Seq and Snapshot must only run while the
+// writer is quiescent — the engine arranges the happens-before edge by
+// holding its batch lock across both the decisions and the read.
 type Tracer struct {
 	every uint64
 	shard int32
-	seq   atomic.Uint64
-	next  atomic.Uint64
+	seq   uint64
+	left  uint64 // decisions until the next sampled one; counts down to 0
+	next  uint64
 	ring  []Trace
 }
 
@@ -86,22 +88,32 @@ func NewTracer(every, capacity, shard int) *Tracer {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Tracer{every: uint64(every), shard: int32(shard), ring: make([]Trace, capacity)}
+	return &Tracer{
+		every: uint64(every),
+		left:  uint64(every),
+		shard: int32(shard),
+		ring:  make([]Trace, capacity),
+	}
 }
 
 // Sample advances the decision sequence and returns a reset ring slot when
 // this decision is sampled, nil otherwise. Nil tracers always return nil.
+//
+//thanos:hotpath
 func (t *Tracer) Sample() *Trace {
 	if t == nil {
 		return nil
 	}
-	n := t.seq.Add(1)
-	if n%t.every != 0 {
+	t.seq++
+	t.left--
+	if t.left != 0 {
 		return nil
 	}
-	slot := (t.next.Add(1) - 1) % uint64(len(t.ring))
+	t.left = t.every
+	slot := t.next % uint64(len(t.ring))
+	t.next++
 	tr := &t.ring[slot]
-	tr.Seq = n
+	tr.Seq = t.seq
 	tr.Shard = t.shard
 	tr.Out = 0
 	tr.ID = -1
@@ -110,12 +122,13 @@ func (t *Tracer) Sample() *Trace {
 	return tr
 }
 
-// Seq returns the number of decisions the tracer has seen.
+// Seq returns the number of decisions the tracer has seen. Like Snapshot,
+// it must not race with Sample on the same tracer.
 func (t *Tracer) Seq() uint64 {
 	if t == nil {
 		return 0
 	}
-	return t.seq.Load()
+	return t.seq
 }
 
 // Snapshot copies the valid ring entries out in ascending Seq order. Must
