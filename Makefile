@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test bench check check-debug check-fault check-perf fuzz-smoke overhead-smoke metrics-demo
+.PHONY: build test bench check check-debug check-fault check-perf check-server fuzz-smoke overhead-smoke metrics-demo load-smoke
 
 build:
 	$(GO) build ./...
@@ -54,12 +54,31 @@ check-perf:
 	$(GO) run ./cmd/thanosbench -checkpoint $(PERFCHECK_OUT) \
 		-against "$$(ls BENCH_*.json | sort -t_ -k2 -n | tail -1)"
 
+# check-server runs the serving-frontend suite under the race detector: the
+# wire codec, backpressure/admission control, the randomized wire-vs-oracle
+# differential, and the fault-injected soak (short window; `go test -tags
+# soak ./internal/server/` selects the long run).
+check-server:
+	$(GO) test -race -count=1 ./internal/server/...
+
 # fuzz-smoke runs each native fuzz target for FUZZTIME (30s default) from
-# its checked-in seed corpus: the DSL parser round-trip and the bit-vector
-# word-boundary model check.
+# its checked-in seed corpus: the DSL parser round-trip, the bit-vector
+# word-boundary model check, and the wire-protocol frame codec and server
+# decode paths (truncated frames, oversized lengths, garbage opcodes must
+# never panic, over-allocate, or wedge a connection).
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=^FuzzParse$$ -fuzztime=$(FUZZTIME) ./internal/policy/
 	$(GO) test -run=^$$ -fuzz=^FuzzVectorOps$$ -fuzztime=$(FUZZTIME) ./internal/bitvec/
+	$(GO) test -run=^$$ -fuzz=^FuzzFrameRoundTrip$$ -fuzztime=$(FUZZTIME) ./internal/server/
+	$(GO) test -run=^$$ -fuzz=^FuzzServerDecode$$ -fuzztime=$(FUZZTIME) ./internal/server/
+
+# load-smoke spawns an in-process thanosd and drives the synthetic
+# million-flow load generator against it for a short window, writing the
+# throughput/latency summary to LOADGEN_OUT for artifact archiving.
+LOADGEN_OUT ?= load_fresh.json
+load-smoke:
+	$(GO) run ./cmd/thanosload -spawn -duration 5s -conns 1 -inflight 1 \
+		-batch 256 -json $(LOADGEN_OUT)
 
 # overhead-smoke is the telemetry cost gate: the fully instrumented batched
 # decision path must stay at zero steady-state allocations and within 5% of

@@ -1,0 +1,294 @@
+// Command thanosload is a synthetic load generator for thanosd: it drives
+// batched decision requests from a configurable flow population (a million
+// flows by default) over many pipelined connections and reports sustained
+// decisions/sec with exact p50/p95/p99 batch latency, as text and optionally
+// as a JSON artifact.
+//
+// Usage:
+//
+//	thanosload -spawn                      # self-contained: in-process server
+//	thanosload -addr /tmp/thanos.sock -network unix
+//	thanosload -addr :9090 -network tcp -conns 8 -inflight 8 -batch 256
+//	thanosload -spawn -json load.json      # archive the result
+//
+// Every worker draws flow keys from a seeded generator, so two runs with the
+// same -seed offer the server the same key population (arrival timing is of
+// course load-dependent).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/policy"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/telemetry"
+)
+
+// result is the machine-readable run summary written by -json.
+type result struct {
+	Network      string  `json:"network"`
+	Conns        int     `json:"conns"`
+	Inflight     int     `json:"inflight_per_conn"`
+	Batch        int     `json:"batch"`
+	Flows        int     `json:"flows"`
+	Resources    int     `json:"resources"`
+	Shards       int     `json:"shards"`
+	DurationSec  float64 `json:"duration_sec"`
+	Decisions    uint64  `json:"decisions"`
+	Batches      uint64  `json:"batches"`
+	Rejects      uint64  `json:"rejects"`
+	DecisionsSec float64 `json:"decisions_per_sec"`
+	P50Us        float64 `json:"p50_us"`
+	P95Us        float64 `json:"p95_us"`
+	P99Us        float64 `json:"p99_us"`
+	MaxUs        float64 `json:"max_us"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "server address (host:port or socket path)")
+	network := flag.String("network", "unix", "tcp or unix")
+	spawn := flag.Bool("spawn", false, "spawn an in-process server on a private Unix socket instead of dialing -addr")
+	conns := flag.Int("conns", 4, "client connections")
+	inflight := flag.Int("inflight", 4, "pipelined batches in flight per connection")
+	batch := flag.Int("batch", 256, "decisions per request frame")
+	flows := flag.Int("flows", 1_000_000, "distinct flow keys offered")
+	duration := flag.Duration("duration", 10*time.Second, "measured load window")
+	resources := flag.Int("resources", 1024, "table entries to install before the run")
+	shards := flag.Int("shards", 0, "engine shards for -spawn (0 = GOMAXPROCS)")
+	seed := flag.Int64("seed", 1, "flow population seed")
+	jsonOut := flag.String("json", "", "write the run summary as JSON to this file (\"-\" = stdout)")
+	flag.Parse()
+
+	if !*spawn && *addr == "" {
+		fmt.Fprintln(os.Stderr, "thanosload: -addr or -spawn required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var cleanup func()
+	if *spawn {
+		a, c := spawnServer(*shards, *resources)
+		*addr, *network = a, "unix"
+		cleanup = c
+		defer cleanup()
+	}
+
+	dial := func(i int) *client.Client {
+		c, _, err := client.Dial(client.Config{
+			Network:     *network,
+			Addr:        *addr,
+			MaxInflight: *inflight,
+			Seed:        *seed + int64(i),
+		})
+		if err != nil {
+			fatal("dial %s %s: %v", *network, *addr, err)
+		}
+		return c
+	}
+
+	// Install the resource table through the wire like any other control
+	// client would.
+	setup := dial(-1)
+	installResources(setup, *resources)
+	info, err := setup.Hello()
+	if err != nil {
+		fatal("hello: %v", err)
+	}
+	setup.Close()
+
+	clients := make([]*client.Client, *conns)
+	for i := range clients {
+		clients[i] = dial(i)
+	}
+
+	var decisions, batches, rejects atomic.Uint64
+	var mu sync.Mutex
+	var samplesUs []float64 // per-batch latencies, µs
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for ci, cli := range clients {
+		for g := 0; g < *inflight; g++ {
+			wg.Add(1)
+			go func(cli *client.Client, id int) {
+				defer wg.Done()
+				r := rand.New(rand.NewSource(*seed<<16 + int64(id)))
+				keys := make([]uint64, *batch)
+				outs := make([]uint16, *batch)
+				var ids []int32
+				local := make([]float64, 0, 1<<14)
+				for {
+					select {
+					case <-stop:
+						mu.Lock()
+						samplesUs = append(samplesUs, local...)
+						mu.Unlock()
+						return
+					default:
+					}
+					for i := range keys {
+						keys[i] = uint64(r.Intn(*flows))
+					}
+					t0 := time.Now()
+					res, err := cli.Decide(keys, outs, ids)
+					lat := time.Since(t0)
+					switch {
+					case err == nil:
+						ids = res
+						decisions.Add(uint64(len(keys)))
+						batches.Add(1)
+						local = append(local, float64(lat.Nanoseconds())/1e3)
+					case err == client.ErrRejected:
+						rejects.Add(1)
+						time.Sleep(100 * time.Microsecond)
+					default:
+						fatal("decide: %v", err)
+					}
+				}
+			}(cli, ci*(*inflight)+g)
+		}
+	}
+
+	start := time.Now()
+	time.Sleep(*duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	for _, c := range clients {
+		c.Close()
+	}
+
+	sort.Float64s(samplesUs)
+	pct := func(p float64) float64 {
+		if len(samplesUs) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(samplesUs)-1))
+		return samplesUs[i]
+	}
+	res := result{
+		Network:      *network,
+		Conns:        *conns,
+		Inflight:     *inflight,
+		Batch:        *batch,
+		Flows:        *flows,
+		Resources:    *resources,
+		Shards:       int(info.Shards),
+		DurationSec:  elapsed,
+		Decisions:    decisions.Load(),
+		Batches:      batches.Load(),
+		Rejects:      rejects.Load(),
+		DecisionsSec: float64(decisions.Load()) / elapsed,
+		P50Us:        pct(0.50),
+		P95Us:        pct(0.95),
+		P99Us:        pct(0.99),
+		MaxUs:        pct(1.0),
+	}
+
+	fmt.Printf("thanosload: %s, %d conns × %d inflight, batch %d, %d flows, %d resources, %d shards\n",
+		*network, res.Conns, res.Inflight, res.Batch, res.Flows, res.Resources, res.Shards)
+	fmt.Printf("  %.0f decisions/sec (%d decisions, %d batches, %d rejects in %.1fs)\n",
+		res.DecisionsSec, res.Decisions, res.Batches, res.Rejects, res.DurationSec)
+	fmt.Printf("  batch latency p50 %.0fµs  p95 %.0fµs  p99 %.0fµs  max %.0fµs\n",
+		res.P50Us, res.P95Us, res.P99Us, res.MaxUs)
+
+	if *jsonOut != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fatal("marshal: %v", err)
+		}
+		b = append(b, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(b)
+		} else if err := os.WriteFile(*jsonOut, b, 0o644); err != nil {
+			fatal("write %s: %v", *jsonOut, err)
+		}
+	}
+}
+
+// spawnServer runs an in-process engine + server on a private Unix socket so
+// the generator is self-contained (loopback measurement mode).
+func spawnServer(shards, resources int) (addr string, cleanup func()) {
+	capacity := resources
+	if capacity < 16 {
+		capacity = 16
+	}
+	reg := telemetry.NewRegistry()
+	eng, err := engine.New(engine.Config{
+		Shards:    shards,
+		Capacity:  capacity,
+		Schema:    policy.Schema{Attrs: []string{"cpu", "mem", "bw"}},
+		Policy:    policy.MustParse("policy load\nout best = min(table, cpu)\n"),
+		Telemetry: reg,
+	})
+	if err != nil {
+		fatal("spawn engine: %v", err)
+	}
+	srv, err := server.New(server.Config{Backend: eng, Telemetry: reg})
+	if err != nil {
+		fatal("spawn server: %v", err)
+	}
+	dir, err := os.MkdirTemp("", "thanosload")
+	if err != nil {
+		fatal("spawn tmpdir: %v", err)
+	}
+	sock := dir + "/load.sock"
+	l, err := net.Listen("unix", sock)
+	if err != nil {
+		fatal("spawn listen: %v", err)
+	}
+	go srv.Serve(l)
+	fmt.Printf("thanosload: spawned in-process server on %s (%d shards, GOMAXPROCS %d)\n",
+		sock, eng.Shards(), runtime.GOMAXPROCS(0))
+	return sock, func() {
+		srv.Close()
+		eng.Close()
+		os.RemoveAll(dir)
+	}
+}
+
+// installResources fills the table with a deterministic resource population.
+func installResources(c *client.Client, n int) {
+	r := rand.New(rand.NewSource(42))
+	const chunk = 512
+	for base := 0; base < n; base += chunk {
+		m := chunk
+		if base+m > n {
+			m = n - base
+		}
+		ops := make([]server.TableOp, m)
+		for i := range ops {
+			ops[i] = server.TableOp{
+				Kind: server.TableUpsert,
+				ID:   uint32(base + i),
+				Vals: []int64{int64(r.Intn(100)), int64(r.Intn(8192)), int64(r.Intn(10000))},
+			}
+		}
+		sts, err := c.Apply(ops, 3)
+		if err != nil {
+			fatal("install resources: %v", err)
+		}
+		for i, st := range sts {
+			if st != server.StatusOK {
+				fatal("install resource %d: status %d", base+i, st)
+			}
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "thanosload: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -149,6 +149,11 @@ const DefaultTraceCapacity = 256
 type snapshot struct {
 	table  *smbm.SMBM
 	interp *policy.Interp
+	// pol is the policy the interpreter was built from. It rides inside the
+	// snapshot so a policy hot-swap (SwapPolicy) publishes the new program
+	// and its fallback table atomically with the epoch: a reader resolving
+	// fallbacks always uses the policy its pinned interpreter was built for.
+	pol *policy.Policy
 }
 
 // work is one ring-buffer descriptor: decide packets pkts[i] for i in idx,
@@ -171,8 +176,6 @@ type shard struct {
 	tail atomic.Uint32 // producer cursor
 	wake chan struct{} // capacity-1 doorbell, producer -> consumer
 	quit chan struct{}
-
-	pol *policy.Policy
 
 	// pidx is the producer-side packet-index scratch for the batch being
 	// partitioned; guarded by Engine.pmu and reused across batches so the
@@ -257,6 +260,7 @@ type Engine struct {
 	ringHist  *telemetry.Histogram // ring occupancy at each chunk push
 	swaps     *telemetry.Counter   // active-snapshot publishes (one per shard per write)
 	waitSpins *telemetry.Counter   // writer spins on a reader-pinned retired snapshot (staleness)
+	polSwaps  *telemetry.Counter   // policy hot-swaps published (SwapPolicy successes)
 
 	// Degradation telemetry, nil-safe like every other handle.
 	quarCtr     *telemetry.Counter // shards quarantined after divergence
@@ -312,7 +316,6 @@ func New(cfg Config) (*Engine, error) {
 			ring: make([]work, ringSlots),
 			wake: make(chan struct{}, 1),
 			quit: make(chan struct{}),
-			pol:  cfg.Policy,
 		}
 		for j := range s.states {
 			t := smbm.New(cfg.Capacity, len(cfg.Schema.Attrs))
@@ -320,7 +323,7 @@ func New(cfg Config) (*Engine, error) {
 			if err != nil {
 				return nil, err
 			}
-			s.states[j] = &snapshot{table: t, interp: it}
+			s.states[j] = &snapshot{table: t, interp: it, pol: cfg.Policy}
 		}
 		s.active.Store(s.states[0])
 		e.shards = append(e.shards, s)
@@ -357,6 +360,7 @@ func (e *Engine) setupTelemetry(cfg Config, n int) {
 	e.ringHist = reg.NewHistogram("thanos_engine_ring_occupancy", "SPSC ring depth observed at each chunk enqueue")
 	e.swaps = reg.NewCounter("thanos_engine_epoch_swaps_total", "active-snapshot publishes (one per shard per table write)")
 	e.waitSpins = reg.NewCounter("thanos_engine_epoch_wait_spins_total", "writer spins waiting for a reader to drain a retired snapshot")
+	e.polSwaps = reg.NewCounter("thanos_engine_policy_swaps_total", "policy hot-swaps published through the epoch-snapshot mechanism")
 	e.quarCtr = reg.NewCounter("thanos_engine_shards_quarantined_total", "shards quarantined after replica divergence")
 	e.resyncCtr = reg.NewCounter("thanos_engine_resyncs_completed_total", "quarantined shards rebuilt from the authoritative table and returned to service")
 	e.retryCtr = reg.NewCounter("thanos_engine_resync_retries_total", "failed resync attempts, retried with capped exponential backoff")
@@ -418,11 +422,23 @@ func (e *Engine) TraceSnapshot() []telemetry.Trace {
 // Shards returns the number of pipeline replicas.
 func (e *Engine) Shards() int { return len(e.shards) }
 
-// Policy returns the policy every shard executes.
-func (e *Engine) Policy() *policy.Policy { return e.pol }
+// Policy returns the policy every shard currently executes. With policy
+// hot-swaps in flight the result is the most recently published policy.
+func (e *Engine) Policy() *policy.Policy {
+	e.pmu.Lock()
+	defer e.pmu.Unlock()
+	return e.pol
+}
 
-// Capacity returns N, the resource-slot count of the replica tables.
-func (e *Engine) Capacity() int { return e.shards[0].states[0].table.Capacity() }
+// Schema returns the metric-dimension schema the engine was built with.
+// The schema is immutable for the engine's lifetime: hot-swaps replace the
+// policy, never the table layout.
+func (e *Engine) Schema() policy.Schema { return e.schema }
+
+// Capacity returns N, the resource-slot count of the replica tables. Like
+// the schema it is fixed at construction — reading a live snapshot here
+// would race the epoch writer for no benefit.
+func (e *Engine) Capacity() int { return e.auth.Capacity() }
 
 // Close stops every shard goroutine and any background resyncs, and waits
 // for them to exit. Pending batches are drained first; Close is idempotent.
@@ -486,12 +502,13 @@ func (e *Engine) decideBatchLocked(pkts []Packet) {
 		e.failBatch(pkts)
 		return
 	}
+	// A packet naming an output the current policy does not have fails in
+	// place (ID=-1, OK=false) instead of panicking: with policy hot-swaps a
+	// caller's view of the output count is inherently racy, so an
+	// out-of-range index is a degradation, not a programming error. Shards
+	// re-check against their own pinned snapshot's policy in process().
 	nOut := len(e.pol.Outputs)
-	for i := range pkts {
-		if pkts[i].Out < 0 || pkts[i].Out >= nOut {
-			panic(fmt.Sprintf("engine: packet %d resolves output %d, policy has %d", i, pkts[i].Out, nOut))
-		}
-	}
+	var invalid uint64
 	// Partition the batch across shards by steering key: a counting pass
 	// sizes each shard's index list exactly, so the fill pass below extends
 	// within capacity and the steady state never grows a slice. steer
@@ -502,12 +519,24 @@ func (e *Engine) decideBatchLocked(pkts []Packet) {
 	}
 	var diverted uint64
 	for i := range pkts {
+		if pkts[i].Out < 0 || pkts[i].Out >= nOut {
+			pkts[i].ID = -1
+			pkts[i].OK = false
+			invalid++
+			continue
+		}
 		home := pkts[i].Key % ns
 		tgt := e.steer[home]
 		if uint64(tgt) != home {
 			diverted++
 		}
 		e.counts[tgt]++
+	}
+	if invalid != 0 {
+		e.failedCtr.Add(invalid)
+		if invalid == uint64(len(pkts)) {
+			return
+		}
 	}
 	if diverted != 0 {
 		e.failoverCtr.Add(diverted)
@@ -516,6 +545,9 @@ func (e *Engine) decideBatchLocked(pkts []Packet) {
 		s.reservePidx(int(e.counts[si]))
 	}
 	for i := range pkts {
+		if pkts[i].Out < 0 || pkts[i].Out >= nOut {
+			continue
+		}
 		s := e.shards[e.steer[pkts[i].Key%ns]]
 		n := len(s.pidx)
 		s.pidx = s.pidx[:n+1]
@@ -635,11 +667,24 @@ func (s *shard) process(w work) {
 		s.inUse.Store(nil) // writer swapped underneath us; retry on the new epoch
 	}
 	var dec, empty uint64
+	nOut := len(st.pol.Outputs)
 	for _, i := range w.idx {
 		p := &w.pkts[i]
+		// The partitioner validated Out against the policy it saw, but a
+		// hot-swap may have published a snapshot with fewer outputs between
+		// partitioning and execution. Degrade such packets instead of letting
+		// Resolve panic: each decision is consistent with the snapshot it ran
+		// against.
+		if p.Out >= nOut {
+			p.ID = -1
+			p.OK = false
+			dec++
+			empty++
+			continue
+		}
 		tr := s.tracer.Sample()
 		outs := st.interp.ExecTraced(tr)
-		res := policy.Resolve(s.pol, outs, p.Out)
+		res := policy.Resolve(st.pol, outs, p.Out)
 		p.ID = res.FirstSet()
 		p.OK = p.ID >= 0
 		dec++

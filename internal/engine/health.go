@@ -189,13 +189,17 @@ func (e *Engine) resyncShard(si, attempt int) error {
 			s.health.Store(int32(Quarantined))
 			return fmt.Errorf("engine: resync shard %d: %w", si, err)
 		}
-		if s.chainTel != nil {
+		// Chain telemetry is labeled per program step at construction time;
+		// after a policy hot-swap the rebuilt program may have a different
+		// shape, in which case the per-step counters no longer apply and the
+		// interpreter runs unattached (table and decision counters continue).
+		if s.chainTel != nil && s.chainTel.Steps() == it.Steps() {
 			it.AttachTelemetry(s.chainTel)
 		}
 		if s.tableTel != nil {
 			t.AttachTelemetry(s.tableTel)
 		}
-		fresh[j] = &snapshot{table: t, interp: it}
+		fresh[j] = &snapshot{table: t, interp: it, pol: e.pol}
 	}
 	s.states[0], s.states[1] = fresh[0], fresh[1]
 	s.active.Store(fresh[0])

@@ -1,0 +1,68 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffDeterminism: same (base, max, seed) → identical schedules.
+func TestBackoffDeterminism(t *testing.T) {
+	a := NewBackoff(time.Millisecond, 100*time.Millisecond, 42)
+	b := NewBackoff(time.Millisecond, 100*time.Millisecond, 42)
+	for i := 0; i < 50; i++ {
+		if da, db := a.Next(), b.Next(); da != db {
+			t.Fatalf("attempt %d: %v != %v", i, da, db)
+		}
+	}
+	c := NewBackoff(time.Millisecond, 100*time.Millisecond, 43)
+	same := true
+	a.Reset()
+	for i := 0; i < 10; i++ {
+		if a.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 10-delay schedules")
+	}
+}
+
+// TestBackoffBoundsAndGrowth: every delay stays within [base/2, max], the
+// envelope grows toward the cap, and Reset rewinds the growth.
+func TestBackoffBoundsAndGrowth(t *testing.T) {
+	base, max := 2*time.Millisecond, 64*time.Millisecond
+	b := NewBackoff(base, max, 7)
+	var last time.Duration
+	for i := 0; i < 40; i++ {
+		d := b.Next()
+		if d < base/2 || d > max {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", i, d, base/2, max)
+		}
+		last = d
+	}
+	// After enough attempts the schedule operates at the cap's envelope.
+	if last < max/2 {
+		t.Fatalf("delay %v after 40 attempts, want >= %v", last, max/2)
+	}
+	b.Reset()
+	if got := b.Attempt(); got != 0 {
+		t.Fatalf("Attempt() = %d after Reset", got)
+	}
+	if d := b.Next(); d > base {
+		t.Fatalf("first delay after Reset = %v, want <= %v", d, base)
+	}
+}
+
+// TestBackoffDefaults: degenerate configs are clamped, never zero or
+// negative delays, and the shift never overflows at high attempt counts.
+func TestBackoffDefaults(t *testing.T) {
+	b := NewBackoff(0, 0, 1)
+	for i := 0; i < 200; i++ {
+		if d := b.Next(); d <= 0 {
+			t.Fatalf("attempt %d: non-positive delay %v", i, d)
+		}
+	}
+	if b.Attempt() > 62 {
+		t.Fatalf("attempt counter %d ran past the shift guard", b.Attempt())
+	}
+}

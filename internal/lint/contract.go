@@ -43,13 +43,13 @@ func DefaultConfig() Config {
 		Snapshot: SnapshotConfig{
 			Pkg:        "repro/internal/engine",
 			Types:      []string{"snapshot"},
-			AllowFuncs: []string{"New", "apply", "applyShard", "resyncShard"},
+			AllowFuncs: []string{"New", "apply", "applyShard", "resyncShard", "swapShard"},
 			StoreFields: map[string][]string{
 				// active is the epoch publish pointer: only construction, the
 				// writer-side swap (applyShard, which also serves the
-				// CorruptReplica fault hook), and the quarantine-recovery
-				// rebuild may store it.
-				"active": {"New", "applyShard", "resyncShard"},
+				// CorruptReplica fault hook), the quarantine-recovery
+				// rebuild, and the policy hot-swap may store it.
+				"active": {"New", "applyShard", "resyncShard", "swapShard"},
 				// inUse is the reader's epoch pin: only the shard reader's
 				// execution function may store it.
 				"inUse": {"process"},

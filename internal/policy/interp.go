@@ -360,6 +360,10 @@ func AssignSeeds(p *Policy) map[*Unary]uint16 {
 // Policy returns the interpreted policy.
 func (it *Interp) Policy() *Policy { return it.policy }
 
+// Steps returns the number of steps in the flattened evaluation program —
+// the length telemetry handles must match (see AttachTelemetry).
+func (it *Interp) Steps() int { return len(it.prog) }
+
 // StepLabels returns the source expression of every program step, in
 // execution order — the label vocabulary used by chain telemetry and
 // decision traces. The slice is a fresh copy.

@@ -1,0 +1,340 @@
+// Package client is the Go client for the thanos decision-plane wire
+// protocol. One Client owns one connection and pipelines requests over it:
+// every request carries a client-assigned sequence number, a single reader
+// goroutine matches replies back by that number, and a bounded inflight
+// window provides client-side admission control mirroring the server's
+// per-connection ring. Concurrent callers pipeline naturally — each blocks
+// only on its own reply, not on the connection.
+//
+// Reconnection is explicit and deterministic: when the connection dies, every
+// pending call fails with ErrConnReset and the next call redials under a
+// seed-driven fault.Backoff schedule, so reconnect storms in tests replay
+// exactly.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/server"
+)
+
+// ErrRejected reports a server Reject frame: the request was not executed
+// because the server-side ring was full. Retry after backing off.
+var ErrRejected = errors.New("client: request rejected (server busy)")
+
+// ErrConnReset reports that the connection died while the request was in
+// flight; the request may or may not have executed.
+var ErrConnReset = errors.New("client: connection reset")
+
+// ErrClosed reports a call after Close.
+var ErrClosed = errors.New("client: closed")
+
+// ErrRemote wraps an Err frame's message from the server.
+var ErrRemote = errors.New("client: server error")
+
+// DefaultMaxInflight is the default pipelining window.
+const DefaultMaxInflight = 32
+
+// Config configures Dial.
+type Config struct {
+	// Network and Addr name the server ("tcp", "host:port" or "unix",
+	// "/path/to.sock").
+	Network, Addr string
+	// MaxInflight bounds requests awaiting replies; further calls block.
+	// 0 selects DefaultMaxInflight.
+	MaxInflight int
+	// DialTimeout bounds each connection attempt. 0 means 5s.
+	DialTimeout time.Duration
+	// BackoffBase/BackoffMax shape the reconnect schedule (defaults
+	// 1ms/500ms).
+	BackoffBase, BackoffMax time.Duration
+	// Seed drives reconnect jitter; the same seed replays the same schedule.
+	Seed int64
+	// MaxDialAttempts caps consecutive failed redials before a call reports
+	// the dial error. 0 means 8.
+	MaxDialAttempts int
+}
+
+// Client is a pipelined protocol client. Safe for concurrent use.
+type Client struct {
+	cfg Config
+	sem chan struct{} // inflight window
+
+	mu      sync.Mutex // guards everything below
+	nc      net.Conn
+	bw      *bufio.Writer
+	seq     uint32
+	pending map[uint32]chan reply
+	bo      *fault.Backoff
+	closed  bool
+}
+
+type reply struct {
+	op   byte
+	body []byte
+	err  error
+}
+
+// Dial connects and performs the Hello handshake.
+func Dial(cfg Config) (*Client, *server.HelloInfo, error) {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 500 * time.Millisecond
+	}
+	if cfg.MaxDialAttempts <= 0 {
+		cfg.MaxDialAttempts = 8
+	}
+	c := &Client{
+		cfg: cfg,
+		sem: make(chan struct{}, cfg.MaxInflight),
+		bo:  fault.NewBackoff(cfg.BackoffBase, cfg.BackoffMax, cfg.Seed),
+	}
+	c.mu.Lock()
+	err := c.connectLocked()
+	c.mu.Unlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	info, err := c.Hello()
+	if err != nil {
+		c.Close()
+		return nil, nil, err
+	}
+	return c, &info, nil
+}
+
+// connectLocked dials one attempt and installs the connection. mu held.
+func (c *Client) connectLocked() error {
+	nc, err := net.DialTimeout(c.cfg.Network, c.cfg.Addr, c.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	c.nc = nc
+	c.bw = bufio.NewWriter(nc)
+	c.pending = make(map[uint32]chan reply)
+	c.bo.Reset()
+	go c.readLoop(nc)
+	return nil
+}
+
+// readLoop demultiplexes replies for one connection generation. It exits when
+// that connection dies, failing everything pending on it.
+func (c *Client) readLoop(nc net.Conn) {
+	fr := server.NewFrameReader(nc, server.MaxPayload)
+	for {
+		op, seq, body, err := fr.Next()
+		if err != nil {
+			c.teardown(nc, err)
+			return
+		}
+		// The reader's buffer is reused across frames; hand each waiter its
+		// own copy.
+		r := reply{op: op, body: append([]byte(nil), body...)}
+		c.mu.Lock()
+		if c.nc != nc {
+			c.mu.Unlock()
+			return
+		}
+		ch, ok := c.pending[seq]
+		if ok {
+			delete(c.pending, seq)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- r
+		}
+	}
+}
+
+// teardown fails all requests pending on nc and marks the connection dead.
+func (c *Client) teardown(nc net.Conn, cause error) {
+	c.mu.Lock()
+	if c.nc != nc {
+		c.mu.Unlock()
+		return
+	}
+	pend := c.pending
+	c.nc, c.bw, c.pending = nil, nil, nil
+	c.mu.Unlock()
+	nc.Close()
+	for _, ch := range pend {
+		ch <- reply{err: fmt.Errorf("%w: %v", ErrConnReset, cause)}
+	}
+}
+
+// roundTrip sends one frame built by build and waits for its reply. It
+// redials (with deterministic backoff) when no connection is live, but never
+// resends a request that was already written — the caller owns that retry
+// decision, because table ops are not idempotent.
+func (c *Client) roundTrip(build func(dst []byte, seq uint32) []byte) (reply, error) {
+	c.sem <- struct{}{}
+	defer func() { <-c.sem }()
+
+	ch := make(chan reply, 1)
+	var dialErr error
+	for attempt := 0; ; attempt++ {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return reply{}, ErrClosed
+		}
+		if c.nc == nil {
+			if attempt >= c.cfg.MaxDialAttempts {
+				c.mu.Unlock()
+				return reply{}, fmt.Errorf("client: redial failed after %d attempts: %w", attempt, dialErr)
+			}
+			dialErr = c.connectLocked()
+			if dialErr != nil {
+				d := c.bo.Next()
+				c.mu.Unlock()
+				time.Sleep(d)
+				continue
+			}
+		}
+		nc := c.nc
+		c.seq++
+		seq := c.seq
+		c.pending[seq] = ch
+		frame := build(nil, seq)
+		_, werr := c.bw.Write(frame)
+		if werr == nil {
+			werr = c.bw.Flush()
+		}
+		if werr != nil {
+			delete(c.pending, seq)
+			c.mu.Unlock()
+			c.teardown(nc, werr)
+			return reply{}, fmt.Errorf("%w: %v", ErrConnReset, werr)
+		}
+		c.mu.Unlock()
+
+		r := <-ch
+		if r.err != nil {
+			return reply{}, r.err
+		}
+		if r.op == server.OpReject {
+			return reply{}, ErrRejected
+		}
+		if r.op == server.OpErr {
+			return reply{}, fmt.Errorf("%w: %s", ErrRemote, string(r.body))
+		}
+		return r, nil
+	}
+}
+
+// Hello performs the version/schema handshake.
+func (c *Client) Hello() (server.HelloInfo, error) {
+	r, err := c.roundTrip(func(dst []byte, seq uint32) []byte {
+		return server.AppendHello(dst, seq, 0)
+	})
+	if err != nil {
+		return server.HelloInfo{}, err
+	}
+	if r.op != server.OpHelloAck {
+		return server.HelloInfo{}, fmt.Errorf("%w: op 0x%02x to hello", ErrRemote, r.op)
+	}
+	return server.DecodeHelloAck(r.body)
+}
+
+// Decide runs one batched decision round: keys[i] is the flow key, outs[i]
+// the policy output index. ids is reused when large enough; id -1 means no
+// resource was selected.
+func (c *Client) Decide(keys []uint64, outs []uint16, ids []int32) ([]int32, error) {
+	if len(keys) != len(outs) {
+		return ids[:0], fmt.Errorf("client: %d keys, %d outs", len(keys), len(outs))
+	}
+	r, err := c.roundTrip(func(dst []byte, seq uint32) []byte {
+		return server.AppendDecide(dst, seq, keys, outs)
+	})
+	if err != nil {
+		return ids[:0], err
+	}
+	if r.op != server.OpDecided {
+		return ids[:0], fmt.Errorf("%w: op 0x%02x to decide", ErrRemote, r.op)
+	}
+	return server.DecodeDecided(r.body, server.MaxBatch, ids)
+}
+
+// Apply runs a batch of SMBM table ops and returns one status byte per op.
+func (c *Client) Apply(ops []server.TableOp, dims int) ([]byte, error) {
+	// Validate the encoding up front so roundTrip's builder cannot fail.
+	if _, err := server.AppendTable(nil, 0, ops, dims); err != nil {
+		return nil, err
+	}
+	r, err := c.roundTrip(func(dst []byte, seq uint32) []byte {
+		frame, _ := server.AppendTable(dst, seq, ops, dims)
+		return frame
+	})
+	if err != nil {
+		return nil, err
+	}
+	if r.op != server.OpTableAck {
+		return nil, fmt.Errorf("%w: op 0x%02x to table", ErrRemote, r.op)
+	}
+	return server.DecodeTableAck(r.body, server.MaxBatch, nil)
+}
+
+// SwapPolicy hot-swaps the served policy to the given DSL text.
+func (c *Client) SwapPolicy(dsl string) error {
+	r, err := c.roundTrip(func(dst []byte, seq uint32) []byte {
+		return server.AppendSwap(dst, seq, dsl)
+	})
+	if err != nil {
+		return err
+	}
+	if r.op != server.OpSwapAck {
+		return fmt.Errorf("%w: op 0x%02x to swap", ErrRemote, r.op)
+	}
+	status, msg, err := server.DecodeSwapAck(r.body)
+	if err != nil {
+		return err
+	}
+	if status != server.StatusOK {
+		return fmt.Errorf("%w: swap rejected: %s", ErrRemote, msg)
+	}
+	return nil
+}
+
+// Ping round-trips a liveness frame.
+func (c *Client) Ping() error {
+	r, err := c.roundTrip(func(dst []byte, seq uint32) []byte {
+		return server.AppendPing(dst, seq)
+	})
+	if err != nil {
+		return err
+	}
+	if r.op != server.OpPong {
+		return fmt.Errorf("%w: op 0x%02x to ping", ErrRemote, r.op)
+	}
+	return nil
+}
+
+// Close tears the connection down; all pending calls fail with ErrConnReset
+// and future calls fail with ErrClosed.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	nc := c.nc
+	c.mu.Unlock()
+	if nc != nil {
+		c.teardown(nc, ErrClosed)
+	}
+}

@@ -1,0 +1,269 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/policy"
+	"repro/internal/smbm"
+)
+
+// request is one admitted frame awaiting execution, with its decoded
+// payload. Request objects cycle between the connection's free list and its
+// ring, so the steady state decodes into slices that have already grown to
+// the working batch size — no per-frame allocation.
+type request struct {
+	op    byte
+	seq   uint32
+	pkts  []engine.Packet // decide
+	ops   []TableOp       // table
+	arena []int64         // backing values for ops
+	dsl   []byte          // swap
+}
+
+// conn is one served connection: a read loop that decodes and admits frames
+// into a bounded ring, and a work loop that executes them against the
+// backend and writes replies. The ring is the backpressure boundary — when
+// it is full the read loop answers with a Reject frame immediately instead
+// of queueing, so a slow backend surfaces to clients as EAGAIN, never as
+// unbounded server memory.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+
+	ring chan *request // admitted, not yet executed
+	free chan *request // recycled request objects; capacity == ring size
+
+	wmu  sync.Mutex // serializes frame writes (worker replies, reader rejects)
+	bw   *bufio.Writer
+	rout []byte // reader-side frame scratch (rejects, errors), under wmu
+	wout []byte // worker-side frame scratch (replies), under wmu
+
+	once sync.Once
+	done chan struct{} // closed on shutdown; unblocks the work loop
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	c := &conn{
+		srv:  s,
+		nc:   nc,
+		ring: make(chan *request, s.ring),
+		free: make(chan *request, s.ring),
+		bw:   bufio.NewWriter(nc),
+		done: make(chan struct{}),
+	}
+	for i := 0; i < s.ring; i++ {
+		c.free <- &request{}
+	}
+	return c
+}
+
+// shutdown tears the connection down from either side (read error, worker
+// exit, server Close). Idempotent.
+func (c *conn) shutdown() {
+	c.once.Do(func() {
+		close(c.done)
+		c.nc.Close()
+		c.srv.removeConn(c)
+	})
+}
+
+// readLoop decodes frames off the socket and admits them into the ring.
+func (c *conn) readLoop() {
+	defer c.srv.wg.Done()
+	defer c.shutdown()
+	fr := NewFrameReader(c.nc, MaxPayload)
+	for {
+		op, seq, body, err := fr.Next()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				c.srv.m.protoErrs.Inc()
+				c.writeReader(AppendErr(c.rout[:0], 0, err.Error()))
+			}
+			return
+		}
+		c.srv.m.framesTotal.Inc()
+		// Claim a request slot without blocking: no slot means the ring is
+		// full and the request is rejected right here, while the worker
+		// keeps draining — the EAGAIN contract.
+		var req *request
+		select {
+		case req = <-c.free:
+		default:
+			c.srv.m.rejects.Inc()
+			c.writeReader(AppendReject(c.rout[:0], seq, RejectBusy))
+			continue
+		}
+		req.op, req.seq = op, seq
+		ok, fatal := c.decodeInto(req, body)
+		if !ok {
+			c.free <- req
+			if fatal {
+				c.srv.m.protoErrs.Inc()
+				return
+			}
+			continue
+		}
+		c.srv.m.inflight.Add(1)
+		select {
+		case c.ring <- req:
+		case <-c.done:
+			c.srv.m.inflight.Add(-1)
+			return
+		}
+	}
+}
+
+// decodeInto decodes body into req according to its opcode. It returns
+// ok=false when the frame was consumed without admitting a request; fatal
+// additionally ends the connection (malformed frame or unknown opcode, after
+// an Err frame has been sent).
+func (c *conn) decodeInto(req *request, body []byte) (ok, fatal bool) {
+	var err error
+	switch req.op {
+	case OpDecide:
+		req.pkts, err = DecodeDecide(body, c.srv.maxBatch, req.pkts)
+	case OpTable:
+		dims := len(c.srv.be.Schema().Attrs)
+		req.ops, req.arena, err = DecodeTable(body, dims, c.srv.maxBatch, req.ops, req.arena)
+	case OpSwap:
+		req.dsl = append(req.dsl[:0], body...)
+	case OpHello:
+		_, _, err = DecodeHello(body)
+	case OpPing:
+		// empty body; tolerate any
+	default:
+		c.writeReader(AppendErr(c.rout[:0], req.seq, "unknown opcode"))
+		return false, true
+	}
+	if err != nil {
+		c.writeReader(AppendErr(c.rout[:0], req.seq, err.Error()))
+		return false, true
+	}
+	return true, false
+}
+
+// workLoop executes admitted requests in order and writes replies.
+func (c *conn) workLoop() {
+	defer c.srv.wg.Done()
+	defer c.shutdown()
+	for {
+		select {
+		case req := <-c.ring:
+			c.serve(req)
+			c.srv.m.inflight.Add(-1)
+			c.free <- req
+		case <-c.done:
+			// Drain requests admitted before shutdown so every admitted
+			// frame is answered or the connection is visibly dead — never
+			// silently dropped while the socket stays open.
+			for {
+				select {
+				case req := <-c.ring:
+					c.serve(req)
+					c.srv.m.inflight.Add(-1)
+					c.free <- req
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// serve executes one request against the backend and writes the reply.
+func (c *conn) serve(req *request) {
+	switch req.op {
+	case OpDecide:
+		start := time.Now()
+		c.srv.be.DecideBatch(req.pkts)
+		c.srv.m.decisions.Add(uint64(len(req.pkts)))
+		c.srv.m.batchHist.Observe(uint64(len(req.pkts)))
+		c.srv.m.latencyHist.Observe(uint64(time.Since(start).Microseconds()))
+		c.writeWorker(AppendDecided(c.wout[:0], req.seq, req.pkts))
+	case OpTable:
+		buf := c.wout[:0]
+		// Statuses are written into the frame as the ops execute: reserve
+		// the header and count, then append one status byte per op.
+		buf = appendHeader(buf, OpTableAck, req.seq, 2+len(req.ops))
+		buf = append(buf, byte(len(req.ops)), byte(len(req.ops)>>8))
+		for i := range req.ops {
+			buf = append(buf, c.applyTableOp(&req.ops[i]))
+		}
+		c.srv.m.tableOps.Add(uint64(len(req.ops)))
+		c.writeWorker(buf)
+	case OpSwap:
+		status, msg := byte(StatusOK), ""
+		pol, err := policy.Parse(string(req.dsl))
+		if err == nil {
+			err = c.srv.be.SwapPolicy(pol)
+		}
+		if err != nil {
+			status, msg = StatusInvalid, err.Error()
+		} else {
+			c.srv.m.swaps.Inc()
+		}
+		c.writeWorker(AppendSwapAck(c.wout[:0], req.seq, status, msg))
+	case OpHello:
+		c.writeWorker(AppendHelloAck(c.wout[:0], req.seq, c.srv.helloInfo()))
+	case OpPing:
+		c.writeWorker(AppendPong(c.wout[:0], req.seq))
+	}
+}
+
+// applyTableOp runs one SMBM op and maps its result to a wire status.
+// Replica divergence maps to StatusOK: the write landed on the
+// authoritative table; the diverged shard is quarantined and resynced by
+// the engine's health machinery, invisible to the protocol contract.
+func (c *conn) applyTableOp(op *TableOp) byte {
+	var err error
+	id := int(op.ID)
+	switch op.Kind {
+	case TableAdd:
+		err = c.srv.be.Add(id, op.Vals)
+	case TableUpdate:
+		err = c.srv.be.Update(id, op.Vals)
+	case TableUpsert:
+		err = c.srv.be.Upsert(id, op.Vals)
+	case TableDelete:
+		err = c.srv.be.Delete(id)
+	}
+	switch {
+	case err == nil:
+		return StatusOK
+	case errors.Is(err, smbm.ErrReplicaDivergence):
+		return StatusOK
+	case errors.Is(err, engine.ErrClosed):
+		return StatusClosed
+	default:
+		return StatusInvalid
+	}
+}
+
+// writeWorker writes one reply frame from the work loop. The scratch that
+// produced buf is retained for reuse when it is the worker's own.
+func (c *conn) writeWorker(buf []byte) {
+	c.wmu.Lock()
+	c.wout = buf[:0]
+	c.writeLocked(buf)
+	c.wmu.Unlock()
+}
+
+// writeReader writes one frame from the read loop (rejects, errors).
+func (c *conn) writeReader(buf []byte) {
+	c.wmu.Lock()
+	c.rout = buf[:0]
+	c.writeLocked(buf)
+	c.wmu.Unlock()
+}
+
+func (c *conn) writeLocked(buf []byte) {
+	if _, err := c.bw.Write(buf); err == nil {
+		_ = c.bw.Flush()
+	}
+}

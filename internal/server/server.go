@@ -1,0 +1,257 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/policy"
+	"repro/internal/telemetry"
+)
+
+// Backend is the decision plane the server fronts. *engine.Engine satisfies
+// it; tests substitute stubs to force backpressure and failure paths.
+type Backend interface {
+	DecideBatch(pkts []engine.Packet)
+	Add(id int, vals []int64) error
+	Update(id int, vals []int64) error
+	Upsert(id int, vals []int64) error
+	Delete(id int) error
+	SwapPolicy(p *policy.Policy) error
+	Schema() policy.Schema
+	Capacity() int
+	Shards() int
+	Policy() *policy.Policy
+}
+
+var _ Backend = (*engine.Engine)(nil)
+
+// DefaultRing is the default per-connection pending-request ring size.
+const DefaultRing = 64
+
+// DefaultMaxConns is the default connection admission limit.
+const DefaultMaxConns = 256
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("server: closed")
+
+// Config configures New.
+type Config struct {
+	// Backend is the decision engine being served. Required.
+	Backend Backend
+	// Ring is the per-connection pending-request ring size; a request
+	// arriving while the ring is full is answered with a Reject frame
+	// (EAGAIN) instead of queueing unboundedly. 0 selects DefaultRing.
+	Ring int
+	// MaxConns caps concurrently served connections; excess connections get
+	// an Err frame and are closed. 0 selects DefaultMaxConns.
+	MaxConns int
+	// MaxBatch caps per-frame op counts; 0 selects the protocol MaxBatch.
+	MaxBatch int
+	// Telemetry, when non-nil, registers the server's metrics under this
+	// registry. All handles are created here; the serve path is lock-free
+	// with respect to telemetry whether or not it is attached.
+	Telemetry *telemetry.Registry
+}
+
+// metrics is the server's telemetry handle set; the zero value (all nil)
+// disables everything.
+type metrics struct {
+	connsOpen     *telemetry.Gauge
+	connsTotal    *telemetry.Counter
+	connsRejected *telemetry.Counter
+	framesTotal   *telemetry.Counter
+	decisions     *telemetry.Counter
+	tableOps      *telemetry.Counter
+	swaps         *telemetry.Counter
+	rejects       *telemetry.Counter
+	inflight      *telemetry.Gauge
+	protoErrs     *telemetry.Counter
+	batchHist     *telemetry.Histogram
+	latencyHist   *telemetry.Histogram
+}
+
+func newMetrics(reg *telemetry.Registry) metrics {
+	if reg == nil {
+		return metrics{}
+	}
+	return metrics{
+		connsOpen:     reg.NewGauge("thanos_server_conns_open", "connections currently served"),
+		connsTotal:    reg.NewCounter("thanos_server_conns_total", "connections accepted"),
+		connsRejected: reg.NewCounter("thanos_server_conns_rejected_total", "connections refused by the admission limit"),
+		framesTotal:   reg.NewCounter("thanos_server_frames_total", "request frames decoded"),
+		decisions:     reg.NewCounter("thanos_server_decisions_total", "decisions served over the wire"),
+		tableOps:      reg.NewCounter("thanos_server_table_ops_total", "SMBM table ops applied over the wire"),
+		swaps:         reg.NewCounter("thanos_server_swaps_total", "policy hot-swaps accepted over the wire"),
+		rejects:       reg.NewCounter("thanos_server_rejects_total", "requests rejected with EAGAIN because a connection ring was full"),
+		inflight:      reg.NewGauge("thanos_server_inflight", "requests admitted and not yet answered"),
+		protoErrs:     reg.NewCounter("thanos_server_proto_errors_total", "connections dropped for malformed frames"),
+		batchHist:     reg.NewHistogram("thanos_server_decide_batch", "decide ops per request frame"),
+		latencyHist:   reg.NewHistogram("thanos_server_decide_latency_us", "server-side decide service time in microseconds"),
+	}
+}
+
+// Server serves the wire protocol over any set of listeners. One Server may
+// Serve several listeners (e.g. a TCP address and a Unix socket)
+// concurrently.
+type Server struct {
+	be       Backend
+	ring     int
+	maxConns int
+	maxBatch int
+	m        metrics
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[*conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// New builds a server over cfg.Backend.
+func New(cfg Config) (*Server, error) {
+	if cfg.Backend == nil {
+		return nil, fmt.Errorf("server: nil backend")
+	}
+	ring := cfg.Ring
+	if ring <= 0 {
+		ring = DefaultRing
+	}
+	maxConns := cfg.MaxConns
+	if maxConns <= 0 {
+		maxConns = DefaultMaxConns
+	}
+	maxBatch := cfg.MaxBatch
+	if maxBatch <= 0 || maxBatch > MaxBatch {
+		maxBatch = MaxBatch
+	}
+	return &Server{
+		be:        cfg.Backend,
+		ring:      ring,
+		maxConns:  maxConns,
+		maxBatch:  maxBatch,
+		m:         newMetrics(cfg.Telemetry),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[*conn]struct{}),
+	}, nil
+}
+
+// Serve accepts connections on l until Close. It always closes l before
+// returning; after Close it returns ErrServerClosed.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return ErrServerClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		l.Close()
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			// Transient accept errors (EMFILE and friends): brief pause,
+			// keep serving. Permanent listener errors surface to the caller.
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+			return err
+		}
+		s.admit(nc)
+	}
+}
+
+// admit applies the connection limit and starts the per-connection
+// goroutines.
+func (s *Server) admit(nc net.Conn) {
+	s.mu.Lock()
+	if s.closed || len(s.conns) >= s.maxConns {
+		closed := s.closed
+		s.mu.Unlock()
+		s.m.connsRejected.Inc()
+		// Best-effort courtesy frame; the listener-side cap is the actual
+		// protection.
+		msg := "server full"
+		if closed {
+			msg = "server closed"
+		}
+		_ = writeAll(nc, AppendErr(nil, 0, msg))
+		nc.Close()
+		return
+	}
+	c := newConn(s, nc)
+	s.conns[c] = struct{}{}
+	s.wg.Add(2)
+	s.mu.Unlock()
+	s.m.connsOpen.Add(1)
+	s.m.connsTotal.Inc()
+	go c.readLoop()
+	go c.workLoop()
+}
+
+// Close stops all listeners, closes every connection and waits for the
+// per-connection goroutines to drain. Idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.shutdown()
+	}
+	s.wg.Wait()
+}
+
+// removeConn drops c from the serving set (idempotent).
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	_, present := s.conns[c]
+	delete(s.conns, c)
+	s.mu.Unlock()
+	if present {
+		s.m.connsOpen.Add(-1)
+	}
+}
+
+// helloInfo snapshots the backend identity for a HelloAck.
+func (s *Server) helloInfo() HelloInfo {
+	return HelloInfo{
+		Version:  Version,
+		Dims:     uint16(len(s.be.Schema().Attrs)),
+		Capacity: uint32(s.be.Capacity()),
+		Shards:   uint16(s.be.Shards()),
+		Outputs:  uint16(len(s.be.Policy().Outputs)),
+	}
+}
+
+func writeAll(w net.Conn, b []byte) error {
+	_, err := w.Write(b)
+	return err
+}

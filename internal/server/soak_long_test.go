@@ -1,0 +1,8 @@
+//go:build soak
+
+package server_test
+
+import "time"
+
+// soakDuration under `-tags soak`: the long-run soak window.
+const soakDuration = 30 * time.Second

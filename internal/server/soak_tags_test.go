@@ -1,0 +1,9 @@
+//go:build !soak
+
+package server_test
+
+import "time"
+
+// soakDuration is the traffic window of TestSoakFaultInjected in the default
+// build. `go test -tags soak` selects the long run.
+const soakDuration = 3 * time.Second
