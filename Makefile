@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test bench check check-debug check-fault check-perf check-server fuzz-smoke overhead-smoke metrics-demo load-smoke
+.PHONY: build test bench check check-debug check-fault check-lint2 check-perf check-race-depth check-server experiments fuzz-smoke overhead-smoke metrics-demo load-smoke
 
 build:
 	$(GO) build ./...
@@ -18,11 +18,29 @@ bench:
 # thanoslint runs after vet and mechanically enforces the paper's hardware
 # invariants: hot-path allocation freedom, simulation determinism, latency
 # constants, the engine's snapshot/epoch protocol, and the telemetry layer's
-# lock-free hot-safe API discipline.
+# lock-free hot-safe API discipline — plus the v2 call-graph analyzers
+# (goroutineleak, lockorder, publishsafety, wireproto) over the serving
+# stack's concurrency and protocol contracts.
 check: build
 	$(GO) vet ./...
 	$(GO) run ./cmd/thanoslint .
 	$(GO) test -race ./...
+
+# check-lint2 is the fast-iteration loop for the v2 call-graph analyzers:
+# only the four serving-stack analyzers over the real tree, plus their
+# seeded-violation fixture tests.
+check-lint2:
+	$(GO) run ./cmd/thanoslint -only goroutineleak,lockorder,publishsafety,wireproto .
+	$(GO) test -count=1 -run 'TestGoroutineLeak|TestLockOrder|TestPublishSafety|TestWireProto' ./internal/lint/
+
+# check-race-depth re-runs the engine and server suites under the race
+# detector at both ends of the scheduler spectrum: GOMAXPROCS=1 forces
+# cooperative interleavings (goroutines only switch at yield points, so
+# missing shutdown edges hang visibly) and GOMAXPROCS=4 maximizes true
+# parallelism. Schedule-dependent races show up at one setting or the other.
+check-race-depth:
+	GOMAXPROCS=1 $(GO) test -race -count=1 ./internal/engine/ ./internal/server/...
+	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/engine/ ./internal/server/...
 
 # check-debug re-runs the suite with the thanosdebug build tag: SMBM
 # re-verifies per-dimension sortedness and the id<->metric pointer bijection
@@ -71,6 +89,14 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=^FuzzVectorOps$$ -fuzztime=$(FUZZTIME) ./internal/bitvec/
 	$(GO) test -run=^$$ -fuzz=^FuzzFrameRoundTrip$$ -fuzztime=$(FUZZTIME) ./internal/server/
 	$(GO) test -run=^$$ -fuzz=^FuzzServerDecode$$ -fuzztime=$(FUZZTIME) ./internal/server/
+
+# experiments regenerates the full paper-evaluation run (EXPERIMENTS.md's
+# source data) into the ignored artifacts directory; the committed record is
+# the prose in EXPERIMENTS.md, not the raw dump.
+EXPERIMENTS_OUT ?= artifacts/experiments_output.txt
+experiments:
+	@mkdir -p $(dir $(EXPERIMENTS_OUT))
+	$(GO) run ./cmd/thanosbench -exp all | tee $(EXPERIMENTS_OUT)
 
 # load-smoke spawns an in-process thanosd and drives the synthetic
 # million-flow load generator against it for a short window, writing the

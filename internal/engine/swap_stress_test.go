@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/smbm"
+)
+
+// TestSwapPolicyQuarantineStress overlaps the three control-plane mutators
+// with the data plane: policy hot-swaps and table writes race with
+// DecideBatch while injected replica corruption (CorruptReplica +
+// VerifyReplicas) cycles shards through quarantine and resync. All inputs
+// are seeded, so a failure replays with the same corruption and write
+// schedule. The table is arranged so min and max are pinned to ids 1 and 2
+// regardless of which snapshot, policy, or serving set a packet lands on:
+// every decision must be one of those two ids, with at least three shards
+// healthy at all times (the injector corrupts one shard only after the
+// previous one has healed).
+func TestSwapPolicyQuarantineStress(t *testing.T) {
+	e := newTestEngine(t, 4, minPolicySrc)
+	// id 1 is always min (cpu 100), id 2 always max (cpu 900); ids 3..10 sit
+	// strictly between, so corrupting them away from a replica never changes
+	// that replica's answer — stale decisions stay indistinguishable from
+	// fresh ones, which is exactly why VerifyReplicas has to catch them.
+	for id, cpu := range []int64{500, 100, 900} {
+		if err := e.Add(id, []int64{cpu, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := 3; id <= 10; id++ {
+		if err := e.Add(id, []int64{700, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	minPol := policy.MustParse(minPolicySrc)
+	maxPol := policy.MustParse(maxPolicySrc)
+	var stop atomic.Bool
+	var quarantines atomic.Int32
+	var wg sync.WaitGroup
+
+	// Deciders: hammer the hot path and assert every answer is one of the
+	// two pinned ids, through swaps, writes, failover, and resync.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			pkts := make([]Packet, 64)
+			for !stop.Load() {
+				for i := range pkts {
+					pkts[i] = Packet{Key: uint64(g*64 + i)}
+				}
+				e.DecideBatch(pkts)
+				for i := range pkts {
+					if !pkts[i].OK || (pkts[i].ID != 1 && pkts[i].ID != 2) {
+						t.Errorf("stress decision: (%d,%v)", pkts[i].ID, pkts[i].OK)
+						stop.Store(true)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	// Injector: corrupt one replica, then audit to force the quarantine.
+	// It waits for full health before each injection so at most one shard is
+	// ever out of the serving set and the deciders always have quorum.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := rand.New(rand.NewSource(7))
+		for n := 0; n < 24 && !stop.Load(); n++ {
+			for e.HealthyShards() < 4 {
+				if stop.Load() {
+					return
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+			if err := e.CorruptReplica(r.Intn(4), 3+r.Intn(8)); err != nil {
+				continue // shard mid-transition; retry next round
+			}
+			quarantines.Add(int32(e.VerifyReplicas()))
+		}
+	}()
+
+	// Swapper + writer (this goroutine): flip the policy and churn scratch
+	// ids whose cpu (600) also sits between the pinned min and max. Keep
+	// going until the injector has produced a few real quarantine cycles,
+	// bounded by a deadline so a wedged resync fails instead of hanging.
+	r := rand.New(rand.NewSource(3))
+	deadline := time.Now().Add(20 * time.Second)
+	for i := 0; (i < 300 || quarantines.Load() < 6) && !stop.Load(); i++ {
+		if time.Now().After(deadline) {
+			break
+		}
+		pol := minPol
+		if i%2 == 0 {
+			pol = maxPol
+		}
+		if err := e.SwapPolicy(pol); err != nil {
+			t.Error(err)
+			break
+		}
+		id := 40 + r.Intn(10)
+		if err := e.Add(id, []int64{600, 0, 0}); err != nil && !errors.Is(err, smbm.ErrReplicaDivergence) {
+			t.Error(err)
+			break
+		}
+		if err := e.Delete(id); err != nil && !errors.Is(err, smbm.ErrReplicaDivergence) {
+			t.Error(err)
+			break
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if quarantines.Load() == 0 {
+		t.Fatal("injector never quarantined a shard; the stress window collapsed")
+	}
+	t.Logf("quarantine cycles survived: %d", quarantines.Load())
+	for si := 0; si < 4; si++ {
+		waitHealth(t, e, si, Healthy)
+	}
+	if err := e.CheckSync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.HealthyShards(); got != 4 {
+		t.Fatalf("HealthyShards() = %d after stress, want 4", got)
+	}
+}

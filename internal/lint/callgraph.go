@@ -1,0 +1,264 @@
+package lint
+
+// This file is the v2 analyzers' shared intermediate layer: a whole-unit
+// function index plus call-site resolution that goes one step past the
+// syntax-directed v1 analyzers. Direct calls resolve statically (the same
+// rules hotpathalloc uses); interface dispatch resolves with class-hierarchy
+// analysis (CHA) over every named type loaded into the unit, so a call
+// through an interface such as server.Backend fans out to each in-module
+// implementation. Built only on go/ast + go/types, it preserves the loader's
+// offline contract: no network, no external analysis framework.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// graphFunc is one analyzed function body.
+type graphFunc struct {
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// callGraph indexes every declared function with a body across the unit's
+// packages and resolves call expressions to their possible callees.
+type callGraph struct {
+	u     *Unit
+	funcs map[*types.Func]graphFunc
+	named []*types.Named
+
+	chaCache map[*types.Func][]*types.Func
+}
+
+func newCallGraph(u *Unit) *callGraph {
+	cg := &callGraph{
+		u:        u,
+		funcs:    map[*types.Func]graphFunc{},
+		chaCache: map[*types.Func][]*types.Func{},
+	}
+	for _, pkg := range u.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					cg.funcs[obj] = graphFunc{decl: fd, pkg: pkg}
+				}
+			}
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if n, ok := tn.Type().(*types.Named); ok {
+				cg.named = append(cg.named, n)
+			}
+		}
+	}
+	return cg
+}
+
+// resolve maps one call expression to its callees. static is the single
+// callee of a direct function or concrete method call; for interface
+// dispatch, candidates holds the CHA set (in-module concrete methods whose
+// receiver implements the interface); dynamic is true when the call cannot
+// be resolved to one static target (interface method or function value).
+func (cg *callGraph) resolve(pkg *Package, call *ast.CallExpr) (static *types.Func, candidates []*types.Func, dynamic bool) {
+	switch f := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[f].(type) {
+		case *types.Func:
+			return obj, nil, false
+		case *types.Var:
+			return nil, nil, true // function value
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[f]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				if recv := fn.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+					return nil, cg.chaCandidates(fn), true
+				}
+				return fn, nil, false
+			}
+			return nil, nil, true // func-typed field
+		}
+		if fn, ok := pkg.Info.Uses[f.Sel].(*types.Func); ok {
+			return fn, nil, false // package-qualified call
+		}
+	}
+	return nil, nil, false
+}
+
+// chaCandidates returns the in-unit concrete methods that an interface
+// method call may dispatch to: for every named type implementing the
+// interface, the method with the same name, when its body was loaded.
+func (cg *callGraph) chaCandidates(m *types.Func) []*types.Func {
+	if c, ok := cg.chaCache[m]; ok {
+		return c
+	}
+	var out []*types.Func
+	recv := m.Type().(*types.Signature).Recv()
+	if recv == nil {
+		cg.chaCache[m] = nil
+		return nil
+	}
+	iface, ok := recv.Type().Underlying().(*types.Interface)
+	if !ok {
+		cg.chaCache[m] = nil
+		return nil
+	}
+	for _, n := range cg.named {
+		if types.IsInterface(n) {
+			continue
+		}
+		if !types.Implements(n, iface) && !types.Implements(types.NewPointer(n), iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(n), true, m.Pkg(), m.Name())
+		if fn, ok := obj.(*types.Func); ok {
+			if _, loaded := cg.funcs[fn]; loaded {
+				out = append(out, fn)
+			}
+		}
+	}
+	cg.chaCache[m] = out
+	return out
+}
+
+// reachable computes the transitive closure of functions callable from the
+// roots. Function literals execute on the calling goroutine and are walked
+// in place; when followGo is false, go statements are fences — nothing
+// spawned onto another goroutine counts as reachable.
+func (cg *callGraph) reachable(roots []*types.Func, followGo bool) map[*types.Func]bool {
+	seen := map[*types.Func]bool{}
+	var queue []*types.Func
+	add := func(fn *types.Func) {
+		if fn == nil || seen[fn] {
+			return
+		}
+		if _, ok := cg.funcs[fn]; ok {
+			seen[fn] = true
+			queue = append(queue, fn)
+		}
+	}
+	for _, r := range roots {
+		add(r)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		gf := cg.funcs[fn]
+		ast.Inspect(gf.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if !followGo {
+					return false
+				}
+			case *ast.CallExpr:
+				st, cands, _ := cg.resolve(gf.pkg, n)
+				add(st)
+				for _, c := range cands {
+					add(c)
+				}
+			}
+			return true
+		})
+	}
+	return seen
+}
+
+// rootsNamed returns the declared functions in pkgs (import-path prefixes)
+// whose bare name is in names.
+func (cg *callGraph) rootsNamed(pkgs, names []string) []*types.Func {
+	var out []*types.Func
+	for _, pkg := range cg.u.Pkgs {
+		if !pathMatchesAny(pkg.Path, pkgs) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				for _, name := range names {
+					if fd.Name.Name == name {
+						if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+							out = append(out, obj)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// refObject resolves a channel / mutex / wait-group operand expression to
+// its canonical object: the field object for selector chains (the same
+// *types.Var no matter which instance the selection goes through), the
+// variable object for plain identifiers.
+func refObject(info *types.Info, e ast.Expr) types.Object {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[x]; obj != nil {
+			return obj
+		}
+		return info.Defs[x]
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// methodIs reports whether fn is the method pkgPath.typeName.name (receiver
+// matched through one pointer indirection).
+func methodIs(fn *types.Func, pkgPath, typeName, name string) bool {
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == typeName
+}
+
+// selCallee returns the *types.Func a method-call selector resolves to, and
+// the receiver expression, for calls of the form recv.Name(...).
+func selCallee(info *types.Info, call *ast.CallExpr) (*types.Func, ast.Expr) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+		return fn, sel.X
+	}
+	return nil, nil
+}
+
+// namedBaseName renders a display name for the type of a receiver
+// expression: the named type behind pointers, or "?".
+func namedBaseName(info *types.Info, e ast.Expr) string {
+	t := info.TypeOf(e)
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return "?"
+}

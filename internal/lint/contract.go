@@ -55,6 +55,52 @@ func DefaultConfig() Config {
 				"inUse": {"process"},
 			},
 		},
+		Goroutine: GoroutineConfig{
+			Pkgs: []string{"repro/internal/engine", "repro/internal/server"},
+			// The teardown entry points whose drain paths prove shutdown
+			// edges: Engine.Close, Server.Close, conn.shutdown, and the
+			// client's Close/teardown pair.
+			Roots: []string{"Close", "Stop", "shutdown", "teardown"},
+		},
+		Locks: LockConfig{
+			Pkgs: []string{
+				"repro/internal/engine",
+				"repro/internal/server",
+				"repro/internal/smbm",
+			},
+			IOPkgs:  []string{"net", "bufio", "io"},
+			IOFuncs: []string{"Read", "Write", "Flush", "ReadFull", "ReadByte", "WriteByte", "Copy"},
+		},
+		Publish: PublishConfig{
+			Pkg:        "repro/internal/engine",
+			Types:      []string{"snapshot"},
+			AllowFuncs: []string{"New", "apply", "applyShard", "resyncShard", "swapShard"},
+			// active is the epoch publish pointer; inUse is the reader's pin
+			// and deliberately not listed (storing it is not a publish).
+			PublishFields: []string{"active"},
+		},
+		Wire: WireConfig{
+			Pkg:        "repro/internal/server",
+			ServerPkgs: []string{"repro/internal/server"},
+			ClientPkg:  "repro/internal/server/client",
+			Pairs: map[string]string{
+				"OpHello":  "OpHelloAck",
+				"OpDecide": "OpDecided",
+				"OpTable":  "OpTableAck",
+				"OpSwap":   "OpSwapAck",
+				"OpPing":   "OpPong",
+			},
+			Universal: []string{"OpReject", "OpErr"},
+			Bodyless:  []string{"OpPing", "OpPong"},
+			CapConsts: []string{"MaxPayload", "MaxBatch"},
+			CapArgs: map[string]int{
+				"NewFrameReader": 1,
+				"DecodeDecide":   1,
+				"DecodeDecided":  1,
+				"DecodeTable":    2,
+				"DecodeTableAck": 1,
+			},
+		},
 		Telemetry: TelemetryConfig{
 			Pkg: "repro/internal/telemetry",
 			// The hot-safe instrument API: single atomic read-modify-write

@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+func TestGoroutineLeak(t *testing.T) {
+	cfg := Config{Goroutine: GoroutineConfig{
+		Pkgs:  []string{"fixture/goroutineleak"},
+		Roots: []string{"Close"},
+	}}
+	checkFixture(t, GoroutineLeak, cfg, "fixture/goroutineleak")
+}

@@ -18,6 +18,19 @@
 //   - telemetrysafety: telemetry reachable from //thanos:hotpath roots is
 //     lock-free and restricted to the hot-safe instrument API
 //
+// The v2 analyzers add a call-graph layer (callgraph.go: static resolution
+// plus CHA for interface dispatch) and check the serving stack's concurrency
+// and protocol contracts:
+//
+//   - goroutineleak:   every spawned goroutine has a shutdown edge (closed
+//     channel, WaitGroup join, context cancel) reachable from Close
+//   - lockorder:       no lock-ordering cycles; no blocking channel ops or
+//     mixed-use I/O while a lock is held
+//   - publishsafety:   fields the hot path reads from epoch-published
+//     snapshots are only written before the atomic Store publish
+//   - wireproto:       opcode/codec/dispatch exhaustiveness and cap symmetry
+//     across the server and client ends of the wire protocol
+//
 // The suite is built directly on go/ast and go/types (no external analysis
 // framework) so it runs offline with nothing but the Go toolchain; the
 // driver is cmd/thanoslint and the test harness mirrors analysistest's
@@ -69,7 +82,11 @@ type Analyzer struct {
 }
 
 // All is the full thanoslint suite in reporting order.
-var All = []*Analyzer{HotPathAlloc, Determinism, LatencyContract, SnapshotSafety, TelemetrySafety}
+var All = []*Analyzer{HotPathAlloc, Determinism, LatencyContract, SnapshotSafety, TelemetrySafety, GoroutineLeak, LockOrder, PublishSafety, WireProto}
+
+// V2 is the call-graph-based subset added for the serving stack (the
+// `make check-lint2` fast-iteration target).
+var V2 = []*Analyzer{GoroutineLeak, LockOrder, PublishSafety, WireProto}
 
 // Unit is the analysis scope handed to every analyzer: the loaded packages
 // plus configuration. Analyzers report through Reportf.
@@ -133,6 +150,14 @@ type Config struct {
 	Snapshot SnapshotConfig
 	// Telemetry configures the telemetrysafety analyzer.
 	Telemetry TelemetryConfig
+	// Goroutine configures the goroutineleak analyzer.
+	Goroutine GoroutineConfig
+	// Locks configures the lockorder analyzer.
+	Locks LockConfig
+	// Publish configures the publishsafety analyzer.
+	Publish PublishConfig
+	// Wire configures the wireproto analyzer.
+	Wire WireConfig
 }
 
 // SnapshotConfig scopes the snapshotsafety analyzer.

@@ -1,0 +1,12 @@
+package lint
+
+import "testing"
+
+func TestLockOrder(t *testing.T) {
+	cfg := Config{Locks: LockConfig{
+		Pkgs:    []string{"fixture/lockorder"},
+		IOPkgs:  []string{"net", "bufio", "io"},
+		IOFuncs: []string{"Read", "Write", "Flush", "ReadFull", "ReadByte", "WriteByte", "Copy"},
+	}}
+	checkFixture(t, LockOrder, cfg, "fixture/lockorder")
+}

@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PublishSafety is the call-graph upgrade of snapshotsafety: it derives the
+// set of snapshot fields the //thanos:hotpath code actually reads (pol,
+// interp, …) by traversing the hot call graph, then proves every write to
+// such a field happens-before the epoch publish:
+//
+//   - outside the configured publish protocol (AllowFuncs) no hot-read
+//     snapshot field is ever assigned;
+//   - inside the protocol, once a snapshot value has been handed to the
+//     publish pointer's atomic Store (Config.Publish.PublishFields, e.g.
+//     active), no hot-read field of that same object is written afterwards.
+//     The check is object-sensitive: applyShard's post-Store replay
+//     legitimately mutates the *retired* snapshot, which was never the Store
+//     argument — only writes through the published value are ordered after
+//     the reader may observe it and get flagged.
+//
+// This is exactly the window SwapPolicy was designed around: the reader
+// pins a snapshot and trusts that its program and table never change after
+// the pointer was published.
+var PublishSafety = &Analyzer{
+	Name: "publishsafety",
+	Doc:  "hot-read snapshot fields are only written before the epoch publish",
+	Run:  runPublishSafety,
+}
+
+// PublishConfig scopes the publishsafety analyzer.
+type PublishConfig struct {
+	// Pkg is the import path of the package holding the snapshot machinery.
+	Pkg string
+	// Types names the epoch-published snapshot struct types.
+	Types []string
+	// AllowFuncs are the construction/publish functions permitted to write
+	// snapshot fields at all (matched by declared function name).
+	AllowFuncs []string
+	// PublishFields are the atomic publish-pointer field names whose Store
+	// is the happens-before edge (e.g. "active"). Stores to other atomics
+	// (the reader's inUse pin) are not publishes.
+	PublishFields []string
+}
+
+func runPublishSafety(u *Unit) error {
+	cfg := u.Config.Publish
+	if cfg.Pkg == "" || len(cfg.Types) == 0 {
+		return nil
+	}
+	cg := newCallGraph(u)
+	hotRead := hotReadFields(u, cg, cfg)
+
+	for _, pkg := range u.Pkgs {
+		if !pathMatchesAny(pkg.Path, []string{cfg.Pkg}) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if nameInList(fd.Name.Name, cfg.AllowFuncs) {
+					checkPublishOrder(u, pkg, fd, cfg, hotRead)
+				} else {
+					checkNoWrites(u, pkg, fd, cfg, hotRead)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func nameInList(name string, list []string) bool {
+	for _, n := range list {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// hotReadFields walks the call graph from every //thanos:hotpath-marked
+// function (go statements excluded: the hot path runs on one goroutine) and
+// collects the snapshot fields it reads, keyed by field object.
+func hotReadFields(u *Unit, cg *callGraph, cfg PublishConfig) map[types.Object]bool {
+	var roots []*types.Func
+	for _, pkg := range u.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if ok, _ := hasMark(fd.Doc, MarkHotPath); ok {
+					if obj, isFn := pkg.Info.Defs[fd.Name].(*types.Func); isFn {
+						roots = append(roots, obj)
+					}
+				}
+			}
+		}
+	}
+	hot := map[types.Object]bool{}
+	for fn := range cg.reachable(roots, false) {
+		gf := cg.funcs[fn]
+		ast.Inspect(gf.decl.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if isSnapshotExpr(gf.pkg.Info, sel.X, cfg) {
+				if obj := gf.pkg.Info.Uses[sel.Sel]; obj != nil {
+					hot[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	return hot
+}
+
+// isSnapshotExpr reports whether e's type (through pointers) is one of the
+// configured snapshot types in the configured package.
+func isSnapshotExpr(info *types.Info, e ast.Expr, cfg PublishConfig) bool {
+	t := info.TypeOf(e)
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != cfg.Pkg {
+		return false
+	}
+	return nameInList(n.Obj().Name(), cfg.Types)
+}
+
+// checkNoWrites flags any assignment to a hot-read snapshot field outside
+// the publish protocol.
+func checkNoWrites(u *Unit, pkg *Package, fd *ast.FuncDecl, cfg PublishConfig, hotRead map[types.Object]bool) {
+	forEachFieldWrite(pkg, fd.Body, cfg, hotRead, func(sel *ast.SelectorExpr, pos token.Pos) {
+		u.Reportf(pos, "hot-read snapshot field %s written outside the publish protocol (allowed: %s)",
+			sel.Sel.Name, strings.Join(cfg.AllowFuncs, ", "))
+	})
+}
+
+// checkPublishOrder enforces the happens-before edge inside a publish
+// function: after a snapshot value is passed to a publish pointer's Store,
+// no hot-read field may be written through that value.
+func checkPublishOrder(u *Unit, pkg *Package, fd *ast.FuncDecl, cfg PublishConfig, hotRead map[types.Object]bool) {
+	// First pass: the publish sites — which object was stored, and where.
+	published := map[types.Object]token.Pos{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		field, arg, ok := atomicStore(pkg.Info, call)
+		if !ok || !nameInList(field, cfg.PublishFields) || len(call.Args) == 0 {
+			return true
+		}
+		if obj := refObject(pkg.Info, arg); obj != nil {
+			if _, seen := published[obj]; !seen {
+				published[obj] = call.Pos()
+			}
+		}
+		return true
+	})
+	if len(published) == 0 {
+		return
+	}
+	// Second pass: writes through a published object after its Store.
+	forEachFieldWrite(pkg, fd.Body, cfg, hotRead, func(sel *ast.SelectorExpr, pos token.Pos) {
+		base := baseIdent(sel.X)
+		if base == nil {
+			return
+		}
+		obj := refObject(pkg.Info, base)
+		storePos, wasPublished := published[obj]
+		if wasPublished && pos > storePos {
+			u.Reportf(pos, "snapshot field %s written through %s after its epoch publish (the reader may already be executing it)",
+				sel.Sel.Name, base.Name)
+		}
+	})
+}
+
+// forEachFieldWrite calls fn for every assignment or inc/dec whose target is
+// a hot-read field of a snapshot type.
+func forEachFieldWrite(pkg *Package, body ast.Node, cfg PublishConfig, hotRead map[types.Object]bool, fn func(sel *ast.SelectorExpr, pos token.Pos)) {
+	check := func(e ast.Expr) {
+		sel, ok := unparen(e).(*ast.SelectorExpr)
+		if !ok || !isSnapshotExpr(pkg.Info, sel.X, cfg) {
+			return
+		}
+		if obj := pkg.Info.Uses[sel.Sel]; obj != nil && hotRead[obj] {
+			fn(sel, sel.Pos())
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				check(lhs)
+			}
+		case *ast.IncDecStmt:
+			check(n.X)
+		}
+		return true
+	})
+}
+
+// atomicStore matches recv.Store(arg) on a sync/atomic value and returns the
+// receiver's field/variable name and the stored argument.
+func atomicStore(info *types.Info, call *ast.CallExpr) (field string, arg ast.Expr, ok bool) {
+	sel, isSel := unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || len(call.Args) != 1 {
+		return "", nil, false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Name() != "Store" || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return "", nil, false
+	}
+	switch recv := unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		return recv.Sel.Name, call.Args[0], true
+	case *ast.Ident:
+		return recv.Name, call.Args[0], true
+	}
+	return "", nil, false
+}

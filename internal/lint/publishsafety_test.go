@@ -1,0 +1,13 @@
+package lint
+
+import "testing"
+
+func TestPublishSafety(t *testing.T) {
+	cfg := Config{Publish: PublishConfig{
+		Pkg:           "fixture/publishsafety",
+		Types:         []string{"snapshot"},
+		AllowFuncs:    []string{"apply", "swapShard"},
+		PublishFields: []string{"active"},
+	}}
+	checkFixture(t, PublishSafety, cfg, "fixture/publishsafety")
+}

@@ -1,0 +1,91 @@
+// Package goroutineleak seeds goroutines with and without provable shutdown
+// edges: the Close root closes quit and joins wg, so spawns draining those
+// are fine, while loops over channels Close never touches must be flagged.
+package goroutineleak
+
+import (
+	"context"
+	"sync"
+)
+
+type Engine struct {
+	quit     chan struct{}
+	work     chan int
+	leakquit chan struct{} // nothing on the Close path ever closes this
+	wg       sync.WaitGroup
+}
+
+func New(ctx context.Context) *Engine {
+	e := &Engine{
+		quit:     make(chan struct{}),
+		work:     make(chan int),
+		leakquit: make(chan struct{}),
+	}
+	// ok: a select arm receives on quit, which Close closes.
+	go func() {
+		for {
+			select {
+			case <-e.quit:
+				return
+			case v := <-e.work:
+				_ = v
+			}
+		}
+	}()
+	// ok: joined through wg, which Close waits on.
+	e.wg.Add(1)
+	go e.drain()
+	// ok: context cancellation is wired by the caller.
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-e.work:
+				_ = v
+			}
+		}
+	}()
+	// ok: no loop, select, or channel op — terminates on its own.
+	go func() { _ = len(e.work) }()
+	// violation: ranges over a channel the Close path never closes.
+	go func() { // want `no shutdown edge reachable from Close`
+		for range e.leakquit {
+		}
+	}()
+	return e
+}
+
+// drain loops over work forever; its shutdown proof is the WaitGroup join —
+// a stuck drain blocks Close instead of leaking silently.
+func (e *Engine) drain() {
+	defer e.wg.Done()
+	for v := range e.work {
+		_ = v
+	}
+}
+
+// waitOn blocks on whatever channel it is handed; whether it leaks depends
+// on the argument bound at the spawn site.
+func waitOn(stop chan struct{}) {
+	<-stop
+}
+
+func (e *Engine) Spawn(fn func()) {
+	go fn()                // want `unresolvable function value`
+	go waitOn(e.quit)      // ok: quit is root-closed, bound through the parameter
+	go waitOn(e.leakquit)  // want `no shutdown edge reachable from Close`
+	go runForever(e.work)  // want `no shutdown edge reachable from Close`
+}
+
+func runForever(ch chan int) {
+	for v := range ch {
+		_ = v
+	}
+}
+
+// Close is the teardown root: it closes quit and joins the WaitGroup.
+func (e *Engine) Close() {
+	close(e.quit)
+	e.wg.Wait()
+}

@@ -1,0 +1,29 @@
+// Package client is the fixture client: it demuxes some replies and sends
+// some requests, leaving exactly the gaps the wireproto analyzer must catch
+// (OpGot unhandled, AppendPing unused) plus a cap literal that diverged from
+// the shared constant.
+package client
+
+import "fixture/wireproto/wire"
+
+// Demux recognizes replies; OpGot is missing, so a Got frame is dropped.
+func Demux(op byte) bool {
+	switch op {
+	case wire.OpHelloAck, wire.OpPong, wire.OpErr, wire.OpStatAck:
+		return true
+	}
+	return false
+}
+
+// Send builds request frames with the wire encoders; Ping is never sent.
+func Send() []byte {
+	b := wire.AppendHello(nil, 1)
+	b = wire.AppendGet(b, 2)
+	return b
+}
+
+// Read passes a literal cap instead of the shared constant: this end now
+// accepts frames the other rejects.
+func Read(b []byte) int {
+	return wire.NewReader(b, 1024) // want `local constant`
+}

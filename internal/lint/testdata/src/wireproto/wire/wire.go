@@ -1,0 +1,94 @@
+// Package wire seeds wire-contract violations: an unclassified opcode, a
+// request with no encoder, a reply with no decoder, a dispatch switch
+// missing a request arm, and cap arguments diverging from the shared
+// constants.
+package wire
+
+// MaxPayload is the shared frame cap both ends must enforce.
+const MaxPayload = 1 << 16
+
+// Opcodes.
+const (
+	OpHello    = 0x01
+	OpHelloAck = 0x02
+	OpGet      = 0x03
+	OpGot      = 0x04 // want `no decoder DecodeGot` `never handled by the client demux`
+	OpPing     = 0x05
+	OpPong     = 0x06
+	OpErr      = 0x07
+	OpRogue    = 0x08 // want `not classified`
+	OpStat     = 0x09 // want `no encoder AppendStat`
+	OpStatAck  = 0x0A
+)
+
+// --- encoders ---
+
+func AppendHello(dst []byte, seq uint32) []byte { return append(dst, OpHello, byte(seq)) }
+func AppendHelloAck(dst []byte, seq uint32) []byte {
+	return append(dst, OpHelloAck, byte(seq))
+}
+func AppendGet(dst []byte, seq uint32) []byte { return append(dst, OpGet, byte(seq)) }
+func AppendGot(dst []byte, seq uint32) []byte { return append(dst, OpGot, byte(seq)) }
+
+// AppendPing exists but the client never calls it: dead protocol surface.
+func AppendPing(dst []byte, seq uint32) []byte { // want `never used by the client`
+	return append(dst, OpPing, byte(seq))
+}
+func AppendPong(dst []byte, seq uint32) []byte { return append(dst, OpPong, byte(seq)) }
+func AppendErr(dst []byte, msg string) []byte  { return append(append(dst, OpErr), msg...) }
+func AppendRogue(dst []byte) []byte            { return append(dst, OpRogue) }
+func AppendStatAck(dst []byte) []byte          { return append(dst, OpStatAck) }
+
+// --- decoders (DecodeGot is deliberately missing) ---
+
+func DecodeHello(body []byte) (byte, error)    { return body[0], nil }
+func DecodeHelloAck(body []byte) (byte, error) { return body[0], nil }
+func DecodeGet(body []byte) (byte, error)      { return body[0], nil }
+func DecodeErr(body []byte) (string, error)    { return string(body), nil }
+func DecodeRogue(body []byte) (byte, error)    { return body[0], nil }
+func DecodeStatAck(body []byte) (byte, error)  { return body[0], nil }
+
+// DecodeStat's second argument is the shared batch/payload cap.
+func DecodeStat(body []byte, max int) (int, error) {
+	if len(body) > max {
+		return 0, nil
+	}
+	return len(body), nil
+}
+
+// NewReader's second argument is the payload cap (0 selects MaxPayload).
+func NewReader(buf []byte, max int) int {
+	if max <= 0 || max > MaxPayload {
+		max = MaxPayload
+	}
+	if len(buf) < max {
+		return len(buf)
+	}
+	return max
+}
+
+// serve is the request dispatch: OpStat has no arm, so stat frames fall
+// through silently.
+func serve(op byte) int {
+	switch op { // want `no arm for OpStat`
+	case OpHello:
+		return 1
+	case OpGet:
+		return 2
+	case OpPing:
+		return 3
+	}
+	return 0
+}
+
+// useCaps exercises the cap-argument rules inside the wire package itself:
+// the shared constant, zero, and a runtime value pass; a local constant
+// means this end enforces a different limit than the other.
+func useCaps(b []byte) int {
+	n := NewReader(b, MaxPayload)
+	n += NewReader(b, 0)
+	n += NewReader(b, len(b))
+	m, _ := DecodeStat(b, 4096) // want `local constant`
+	_ = serve(b[0])
+	return n + m
+}

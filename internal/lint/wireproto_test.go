@@ -1,0 +1,22 @@
+package lint
+
+import "testing"
+
+func TestWireProto(t *testing.T) {
+	cfg := Config{Wire: WireConfig{
+		Pkg:        "fixture/wireproto/wire",
+		ServerPkgs: []string{"fixture/wireproto/wire"},
+		ClientPkg:  "fixture/wireproto/client",
+		Pairs: map[string]string{
+			"OpHello": "OpHelloAck",
+			"OpGet":   "OpGot",
+			"OpPing":  "OpPong",
+			"OpStat":  "OpStatAck",
+		},
+		Universal: []string{"OpErr"},
+		Bodyless:  []string{"OpPing", "OpPong"},
+		CapConsts: []string{"MaxPayload"},
+		CapArgs:   map[string]int{"NewReader": 1, "DecodeStat": 1},
+	}}
+	checkFixture(t, WireProto, cfg, "fixture/wireproto/wire", "fixture/wireproto/client")
+}

@@ -66,6 +66,14 @@ type Client struct {
 	cfg Config
 	sem chan struct{} // inflight window
 
+	// wmu serializes frame writes onto the socket. It is dedicated to I/O
+	// and never held together with mu: state bookkeeping happens under mu,
+	// then the write proceeds under wmu only, so a stalled socket never
+	// blocks the demux or other callers' state transitions.
+	wmu sync.Mutex
+
+	rwg sync.WaitGroup // joins reader goroutines across reconnects
+
 	mu      sync.Mutex // guards everything below
 	nc      net.Conn
 	bw      *bufio.Writer
@@ -127,13 +135,16 @@ func (c *Client) connectLocked() error {
 	c.bw = bufio.NewWriter(nc)
 	c.pending = make(map[uint32]chan reply)
 	c.bo.Reset()
+	c.rwg.Add(1)
 	go c.readLoop(nc)
 	return nil
 }
 
 // readLoop demultiplexes replies for one connection generation. It exits when
-// that connection dies, failing everything pending on it.
+// that connection dies, failing everything pending on it; Close joins it
+// through rwg.
 func (c *Client) readLoop(nc net.Conn) {
+	defer c.rwg.Done()
 	fr := server.NewFrameReader(nc, server.MaxPayload)
 	for {
 		op, seq, body, err := fr.Next()
@@ -205,22 +216,31 @@ func (c *Client) roundTrip(build func(dst []byte, seq uint32) []byte) (reply, er
 				continue
 			}
 		}
-		nc := c.nc
+		nc, bw := c.nc, c.bw
 		c.seq++
 		seq := c.seq
 		c.pending[seq] = ch
 		frame := build(nil, seq)
-		_, werr := c.bw.Write(frame)
+		c.mu.Unlock()
+
+		// The socket write happens under the dedicated write lock only:
+		// holding mu across Write/Flush would let one stalled socket block
+		// the demux and every other caller's state transitions.
+		c.wmu.Lock()
+		_, werr := bw.Write(frame)
 		if werr == nil {
-			werr = c.bw.Flush()
+			werr = bw.Flush()
 		}
+		c.wmu.Unlock()
 		if werr != nil {
-			delete(c.pending, seq)
+			c.mu.Lock()
+			if c.pending != nil {
+				delete(c.pending, seq)
+			}
 			c.mu.Unlock()
 			c.teardown(nc, werr)
 			return reply{}, fmt.Errorf("%w: %v", ErrConnReset, werr)
 		}
-		c.mu.Unlock()
 
 		r := <-ch
 		if r.err != nil {
@@ -230,7 +250,8 @@ func (c *Client) roundTrip(build func(dst []byte, seq uint32) []byte) (reply, er
 			return reply{}, ErrRejected
 		}
 		if r.op == server.OpErr {
-			return reply{}, fmt.Errorf("%w: %s", ErrRemote, string(r.body))
+			msg, _ := server.DecodeErr(r.body)
+			return reply{}, fmt.Errorf("%w: %s", ErrRemote, msg)
 		}
 		return r, nil
 	}
@@ -337,4 +358,8 @@ func (c *Client) Close() {
 	if nc != nil {
 		c.teardown(nc, ErrClosed)
 	}
+	// Join the reader: closed is set, so no call can redial and spawn a new
+	// generation, and teardown closed the socket, so the current reader's
+	// blocking Next fails promptly.
+	c.rwg.Wait()
 }

@@ -132,7 +132,7 @@ func (c *conn) decodeInto(req *request, body []byte) (ok, fatal bool) {
 		dims := len(c.srv.be.Schema().Attrs)
 		req.ops, req.arena, err = DecodeTable(body, dims, c.srv.maxBatch, req.ops, req.arena)
 	case OpSwap:
-		req.dsl = append(req.dsl[:0], body...)
+		req.dsl, err = DecodeSwap(body, req.dsl)
 	case OpHello:
 		_, _, err = DecodeHello(body)
 	case OpPing:

@@ -178,8 +178,11 @@ func (s *Server) Serve(l net.Listener) error {
 }
 
 // admit applies the connection limit and starts the per-connection
-// goroutines.
+// goroutines. The conn is built before taking the server lock: newConn fills
+// the free-list ring with channel sends, and no channel op belongs inside a
+// mutex critical section (a rejected conn is just garbage-collected).
 func (s *Server) admit(nc net.Conn) {
+	c := newConn(s, nc)
 	s.mu.Lock()
 	if s.closed || len(s.conns) >= s.maxConns {
 		closed := s.closed
@@ -195,7 +198,6 @@ func (s *Server) admit(nc net.Conn) {
 		nc.Close()
 		return
 	}
-	c := newConn(s, nc)
 	s.conns[c] = struct{}{}
 	s.wg.Add(2)
 	s.mu.Unlock()

@@ -391,12 +391,23 @@ func DecodeTableAck(body []byte, maxBatch int, statuses []byte) ([]byte, error) 
 	return append(statuses[:0], body[2:]...), nil
 }
 
+// DecodeSwap parses a Swap body (the DSL text) into dst, reusing its backing
+// array.
+func DecodeSwap(body, dst []byte) ([]byte, error) {
+	return append(dst[:0], body...), nil
+}
+
 // DecodeSwapAck parses a SwapAck body.
 func DecodeSwapAck(body []byte) (status byte, msg string, err error) {
 	if len(body) < 1 {
 		return 0, "", fmt.Errorf("%w: empty swapack body", ErrMalformed)
 	}
 	return body[0], string(body[1:]), nil
+}
+
+// DecodeErr parses an Err body (the server's error text).
+func DecodeErr(body []byte) (string, error) {
+	return string(body), nil
 }
 
 // DecodeReject parses a Reject body.
