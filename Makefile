@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test bench check check-debug check-fault check-lint2 check-perf check-race-depth check-server experiments fuzz-smoke overhead-smoke metrics-demo load-smoke
+.PHONY: build test bench check check-debug check-fault check-lint2 check-obs check-perf check-race-depth check-server experiments fuzz-smoke overhead-smoke metrics-demo load-smoke
 
 build:
 	$(GO) build ./...
@@ -105,6 +105,22 @@ LOADGEN_OUT ?= load_fresh.json
 load-smoke:
 	$(GO) run ./cmd/thanosload -spawn -duration 5s -conns 1 -inflight 1 \
 		-batch 256 -json $(LOADGEN_OUT)
+
+# check-obs is the end-to-end observability gate. It runs the wire-tracing
+# suite in strict mode — the traced decide path's extra work (trace trailer
+# encode, exemplar store, span records) must stay at zero steady-state
+# allocations, and full-rate tracing must stay within 5% of untraced
+# throughput — then drives a sampled thanosload run that must surface a p99
+# exemplar, and archives the stitched cross-layer Chrome trace it produced.
+OBS_OUT ?= artifacts
+check-obs:
+	THANOS_CHECK_OBS=1 $(GO) test -count=1 -v -run '^TestTrac' ./internal/server/
+	@mkdir -p $(OBS_OUT)
+	$(GO) run ./cmd/thanosload -spawn -duration 3s -conns 2 -batch 64 \
+		-trace-every 64 -json $(OBS_OUT)/load_traced.json \
+		-trace-out $(OBS_OUT)/trace_stitched.json
+	@grep -q '"p99_exemplar"' $(OBS_OUT)/load_traced.json || \
+		{ echo "check-obs: no p99 exemplar in $(OBS_OUT)/load_traced.json"; exit 1; }
 
 # overhead-smoke is the telemetry cost gate: the fully instrumented batched
 # decision path must stay at zero steady-state allocations and within 5% of

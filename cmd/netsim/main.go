@@ -48,6 +48,7 @@ func main() {
 	d := flag.Int("d", 2, "DRILL d")
 	m := flag.Int("m", 1, "DRILL m")
 	metrics := flag.String("metrics", "", "serve /metrics, /debug/vars and /trace on this address (e.g. :9090)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof on the -metrics address")
 	hold := flag.Duration("hold", 0, "keep the process (and the metrics endpoint) alive this long after the run")
 	failMode := flag.String("fail", "", "failure scenario: spine | uplink (clos only)")
 	failSpine := flag.Int("fail-spine", 0, "spine to fail")
@@ -59,6 +60,7 @@ func main() {
 	ctrlDrop := flag.Float64("ctrl-drop", 0.05, "control-plane update drop probability")
 	ctrlDelay := flag.Duration("ctrl-delay", 200*time.Microsecond, "control-plane update delay bound")
 	flag.Parse()
+	pprofEnabled = *pprofOn
 
 	var failCfg *experiments.FailureConfig
 	switch *failMode {
@@ -99,12 +101,16 @@ func serveMetrics(addr string, reg *telemetry.Registry) error {
 	}
 	fmt.Printf("metrics: serving /metrics, /debug/vars, /trace on http://%s\n", ln.Addr())
 	go func() {
-		if err := http.Serve(ln, telemetry.Mux(reg, nil)); err != nil {
+		mux := telemetry.NewMux(telemetry.MuxConfig{Registry: reg, Pprof: pprofEnabled})
+		if err := http.Serve(ln, mux); err != nil {
 			fmt.Fprintf(os.Stderr, "netsim: metrics server: %v\n", err)
 		}
 	}()
 	return nil
 }
+
+// pprofEnabled mirrors the -pprof flag; set once in main before any run.
+var pprofEnabled bool
 
 func run(topo string, kAry, leaves, spines, hostsPerLeaf int, pol string,
 	load float64, flows int, scale float64, seed int64, d, m int,

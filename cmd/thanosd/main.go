@@ -43,6 +43,8 @@ func main() {
 	metrics := flag.String("metrics", "", "telemetry HTTP address (/metrics, /debug/vars, /trace); empty disables")
 	ring := flag.Int("ring", server.DefaultRing, "per-connection pending-request ring (backpressure bound)")
 	maxconns := flag.Int("maxconns", server.DefaultMaxConns, "connection admission limit")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof on the -metrics address")
+	flightCap := flag.Int("flight", 256, "per-component flight-recorder ring capacity")
 	flag.Parse()
 
 	if *tcp == "" && *uds == "" {
@@ -71,12 +73,21 @@ func main() {
 	}
 
 	reg := telemetry.NewRegistry()
+	// The flight recorder runs always-on: the engine and server record their
+	// recent spans and state transitions into per-component rings for ~free,
+	// and a shard quarantine or SIGQUIT dumps the history to stderr.
+	flight := telemetry.NewFlightRecorder()
+	flight.SetAutoDump(os.Stderr)
 	eng, err := engine.New(engine.Config{
 		Shards:    *shards,
 		Capacity:  *capacity,
 		Schema:    sch,
 		Policy:    pol,
 		Telemetry: reg,
+		Flight:    flight.Ring("engine", *flightCap),
+		OnQuarantine: func(shard int, cause error) {
+			flight.Trip(fmt.Sprintf("shard %d quarantined: %v", shard, cause))
+		},
 	})
 	if err != nil {
 		fatal("engine: %v", err)
@@ -88,6 +99,7 @@ func main() {
 		Ring:      *ring,
 		MaxConns:  *maxconns,
 		Telemetry: reg,
+		Flight:    flight.Ring("server", *flightCap),
 	})
 	if err != nil {
 		fatal("server: %v", err)
@@ -125,8 +137,27 @@ func main() {
 			fatal("metrics listen: %v", err)
 		}
 		fmt.Printf("thanosd: telemetry on http://%s/metrics\n", ln.Addr())
-		go http.Serve(ln, telemetry.Mux(reg, eng.TraceSnapshot))
+		go http.Serve(ln, telemetry.NewMux(telemetry.MuxConfig{
+			Registry: reg,
+			Traces:   eng.TraceSnapshot,
+			Flight:   flight,
+			Introspect: map[string]func() any{
+				"engine": func() any { return eng.Introspect() },
+				"server": func() any { return srv.Introspect() },
+			},
+			Pprof: *pprofOn,
+		}))
 	}
+
+	// SIGQUIT dumps the flight recorder without exiting, the classic
+	// kill -QUIT diagnostic; SIGINT/SIGTERM drain and exit.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			flight.Trip("SIGQUIT")
+		}
+	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

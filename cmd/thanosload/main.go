@@ -54,6 +54,30 @@ type result struct {
 	P95Us        float64 `json:"p95_us"`
 	P99Us        float64 `json:"p99_us"`
 	MaxUs        float64 `json:"max_us"`
+
+	// Tracing extras, present with -trace-every: the full batch-latency
+	// histogram (power-of-two buckets, µs), the per-bucket exemplar trace
+	// IDs, and the stitched cross-layer timeline of the tail exemplar.
+	TraceEvery  int               `json:"trace_every,omitempty"`
+	ServerBuild string            `json:"server_build,omitempty"`
+	BucketsUs   map[string]uint64 `json:"latency_buckets_us,omitempty"`
+	Exemplars   map[string]uint64 `json:"latency_exemplars,omitempty"`
+	P99Exemplar *exemplarOut      `json:"p99_exemplar,omitempty"`
+}
+
+// phaseUs is one traced request's per-phase breakdown in microseconds.
+type phaseUs struct {
+	EnqueueUs  float64 `json:"enqueue_us"`   // client admission -> socket write
+	WireUs     float64 `json:"wire_us"`      // socket write -> server decode
+	RingWaitUs float64 `json:"ring_wait_us"` // server ring admit -> worker pickup
+	DecideUs   float64 `json:"decide_us"`    // engine DecideBatch
+	ReplyUs    float64 `json:"reply_us"`     // server done -> client demux
+}
+
+// exemplarOut links a tail-latency bucket to one sampled request's timeline.
+type exemplarOut struct {
+	TraceID uint64  `json:"trace_id"`
+	Phases  phaseUs `json:"phases"`
 }
 
 func main() {
@@ -69,6 +93,8 @@ func main() {
 	shards := flag.Int("shards", 0, "engine shards for -spawn (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 1, "flow population seed")
 	jsonOut := flag.String("json", "", "write the run summary as JSON to this file (\"-\" = stdout)")
+	traceEvery := flag.Int("trace-every", 0, "sample 1 in N batches for end-to-end tracing (0 = off; requires a v2 server)")
+	traceOut := flag.String("trace-out", "", "write the sampled spans as a Chrome trace to this file (requires -trace-every)")
 	flag.Parse()
 
 	if !*spawn && *addr == "" {
@@ -85,12 +111,22 @@ func main() {
 		defer cleanup()
 	}
 
+	// Flight rings for traced runs: the client records its own spans
+	// (enqueue/wire/reply); the server's phase stamps come back echoed in
+	// each traced reply and are re-recorded locally into the "server" ring,
+	// so the stitched timeline works against remote servers too.
+	fl := telemetry.NewFlightRecorder()
+	clientRing := fl.Ring("client", 4096)
+	serverRing := fl.Ring("server", 4096)
+
 	dial := func(i int) *client.Client {
 		c, _, err := client.Dial(client.Config{
 			Network:     *network,
 			Addr:        *addr,
 			MaxInflight: *inflight,
 			Seed:        *seed + int64(i),
+			TraceEvery:  *traceEvery,
+			Flight:      clientRing,
 		})
 		if err != nil {
 			fatal("dial %s %s: %v", *network, *addr, err)
@@ -106,7 +142,15 @@ func main() {
 	if err != nil {
 		fatal("hello: %v", err)
 	}
+	pong, err := setup.Ping()
+	if err != nil {
+		fatal("ping: %v", err)
+	}
 	setup.Close()
+	if pong.Build != "" {
+		fmt.Printf("thanosload: server %s, up %s, protocol v%d\n",
+			pong.Build, time.Duration(pong.UptimeNs).Round(time.Millisecond), info.Version)
+	}
 
 	clients := make([]*client.Client, *conns)
 	for i := range clients {
@@ -116,6 +160,9 @@ func main() {
 	var decisions, batches, rejects atomic.Uint64
 	var mu sync.Mutex
 	var samplesUs []float64 // per-batch latencies, µs
+	var hist telemetry.Histogram
+	timelines := map[uint64]client.TraceInfo{} // trace ID -> sampled timeline, under mu
+	const maxTimelines = 1 << 16
 
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
@@ -128,6 +175,7 @@ func main() {
 				keys := make([]uint64, *batch)
 				outs := make([]uint16, *batch)
 				var ids []int32
+				var ti client.TraceInfo
 				local := make([]float64, 0, 1<<14)
 				for {
 					select {
@@ -142,14 +190,28 @@ func main() {
 						keys[i] = uint64(r.Intn(*flows))
 					}
 					t0 := time.Now()
-					res, err := cli.Decide(keys, outs, ids)
+					res, err := cli.DecideTraced(keys, outs, ids, &ti)
 					lat := time.Since(t0)
 					switch {
 					case err == nil:
 						ids = res
 						decisions.Add(uint64(len(keys)))
 						batches.Add(1)
-						local = append(local, float64(lat.Nanoseconds())/1e3)
+						latUs := float64(lat.Nanoseconds()) / 1e3
+						local = append(local, latUs)
+						hist.ObserveExemplar(uint64(latUs), ti.ID)
+						if ti.ID != 0 {
+							// Re-record the server's echoed phase stamps so
+							// the local flight snapshot stitches end to end.
+							n := int64(len(keys))
+							serverRing.Record(telemetry.SpanRingWait, ti.ID, ti.Server.AdmitNs, ti.Server.StartNs, n)
+							serverRing.Record(telemetry.SpanDecide, ti.ID, ti.Server.StartNs, ti.Server.DoneNs, n)
+							mu.Lock()
+							if len(timelines) < maxTimelines {
+								timelines[ti.ID] = ti
+							}
+							mu.Unlock()
+						}
 					case err == client.ErrRejected:
 						rejects.Add(1)
 						time.Sleep(100 * time.Microsecond)
@@ -195,6 +257,12 @@ func main() {
 		P95Us:        pct(0.95),
 		P99Us:        pct(0.99),
 		MaxUs:        pct(1.0),
+		ServerBuild:  pong.Build,
+	}
+	if *traceEvery > 0 {
+		res.TraceEvery = *traceEvery
+		res.BucketsUs, res.Exemplars = bucketsAndExemplars(&hist)
+		res.P99Exemplar = tailExemplar(&hist, timelines)
 	}
 
 	fmt.Printf("thanosload: %s, %d conns × %d inflight, batch %d, %d flows, %d resources, %d shards\n",
@@ -203,6 +271,21 @@ func main() {
 		res.DecisionsSec, res.Decisions, res.Batches, res.Rejects, res.DurationSec)
 	fmt.Printf("  batch latency p50 %.0fµs  p95 %.0fµs  p99 %.0fµs  max %.0fµs\n",
 		res.P50Us, res.P95Us, res.P99Us, res.MaxUs)
+	if ex := res.P99Exemplar; ex != nil {
+		fmt.Printf("  p99 exemplar trace %#x: enqueue %.1fµs  wire %.1fµs  ring %.1fµs  decide %.1fµs  reply %.1fµs\n",
+			ex.TraceID, ex.Phases.EnqueueUs, ex.Phases.WireUs, ex.Phases.RingWaitUs, ex.Phases.DecideUs, ex.Phases.ReplyUs)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal("trace out: %v", err)
+		}
+		if err := telemetry.WriteSpanChromeTrace(f, fl.Snapshot()); err != nil {
+			fatal("trace out: %v", err)
+		}
+		f.Close()
+		fmt.Printf("  wrote Chrome trace to %s\n", *traceOut)
+	}
 
 	if *jsonOut != "" {
 		b, err := json.MarshalIndent(res, "", "  ")
@@ -216,6 +299,57 @@ func main() {
 			fatal("write %s: %v", *jsonOut, err)
 		}
 	}
+}
+
+// bucketsAndExemplars renders the latency histogram's non-empty buckets as
+// le -> count (µs bounds; "+Inf" for the open bucket) plus the per-bucket
+// exemplar trace IDs.
+func bucketsAndExemplars(h *telemetry.Histogram) (map[string]uint64, map[string]uint64) {
+	buckets := map[string]uint64{}
+	exemplars := map[string]uint64{}
+	for i := 0; i < telemetry.NumBuckets; i++ {
+		n := h.Bucket(i)
+		if n == 0 {
+			continue
+		}
+		le := "+Inf"
+		if i < 64 {
+			le = fmt.Sprintf("%d", telemetry.BucketBound(i))
+		}
+		buckets[le] = n
+		if ex := h.Exemplar(i); ex != 0 {
+			exemplars[le] = ex
+		}
+	}
+	return buckets, exemplars
+}
+
+// tailExemplar walks the histogram from its highest populated bucket down
+// and returns the first exemplar whose full timeline was retained: the
+// p99-and-beyond request the operator would want to drill into.
+func tailExemplar(h *telemetry.Histogram, timelines map[uint64]client.TraceInfo) *exemplarOut {
+	us := func(a, b int64) float64 { return float64(b-a) / 1e3 }
+	for i := telemetry.NumBuckets - 1; i >= 0; i-- {
+		ex := h.Exemplar(i)
+		if ex == 0 {
+			continue
+		}
+		ti, ok := timelines[ex]
+		if !ok {
+			continue
+		}
+		return &exemplarOut{
+			TraceID: ti.ID,
+			Phases: phaseUs{
+				EnqueueUs:  us(ti.EnqueueNs, ti.SendNs),
+				WireUs:     us(ti.SendNs, ti.Server.RecvNs),
+				RingWaitUs: us(ti.Server.AdmitNs, ti.Server.StartNs),
+				DecideUs:   us(ti.Server.StartNs, ti.Server.DoneNs),
+				ReplyUs:    us(ti.Server.DoneNs, ti.ReplyNs),
+			},
+		}
+	}
+	return nil
 }
 
 // spawnServer runs an in-process engine + server on a private Unix socket so

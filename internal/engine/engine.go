@@ -122,6 +122,16 @@ type Config struct {
 	// ResyncMax caps the exponential resync backoff; 0 selects
 	// DefaultResyncMax.
 	ResyncMax time.Duration
+	// Flight, when non-nil, receives the engine's state transitions
+	// (quarantine, resync completion, policy swap) for the always-on flight
+	// recorder. Records are lock-free and allocation-free; nil disables
+	// recording.
+	Flight *telemetry.SpanRing
+	// OnQuarantine, when non-nil, is called once per shard quarantine with
+	// the shard index and the divergence that caused it. It runs on the
+	// background resync goroutine, never under the engine's locks, so it may
+	// block or do I/O (e.g. dump the flight recorder).
+	OnQuarantine func(shard int, cause error)
 }
 
 // DefaultResyncBase is the default initial resync retry backoff.
@@ -244,6 +254,11 @@ type Engine struct {
 	bg       sync.WaitGroup // background resync goroutines, for Close
 	closedCh chan struct{}  // closed by Close; bails writers and resync loops
 
+	// flight receives state-transition events (nil-safe); onQuar is the
+	// user's quarantine callback, invoked from resyncLoop outside all locks.
+	flight *telemetry.SpanRing
+	onQuar func(shard int, cause error)
+
 	// resync retry schedule (capped exponential backoff).
 	resyncBase time.Duration
 	resyncMax  time.Duration
@@ -299,6 +314,8 @@ func New(cfg Config) (*Engine, error) {
 		steer:      make([]int32, n),
 		live:       n,
 		closedCh:   make(chan struct{}),
+		flight:     cfg.Flight,
+		onQuar:     cfg.OnQuarantine,
 		resyncBase: cfg.ResyncBase,
 		resyncMax:  cfg.ResyncMax,
 	}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/policy"
 	"repro/internal/smbm"
+	"repro/internal/telemetry"
 )
 
 // ShardHealth is a shard's position in the degradation state machine.
@@ -65,10 +66,64 @@ func (e *Engine) LastShardError(si int) error {
 	return e.shards[si].lastErr
 }
 
+// ShardStatus is one shard's slice of an engine introspection snapshot.
+type ShardStatus struct {
+	Health string `json:"health"`
+	// LastErr is the divergence that most recently quarantined the shard,
+	// empty if it never diverged.
+	LastErr string `json:"last_err,omitempty"`
+	// TableVersion is the active snapshot's SMBM mutation counter — the
+	// shard's epoch position. Healthy shards agree with AuthVersion modulo
+	// writes in flight.
+	TableVersion uint64 `json:"table_version"`
+	TableSize    int    `json:"table_size"`
+}
+
+// EngineStatus is the engine's introspection snapshot (/debug/thanos).
+type EngineStatus struct {
+	Shards      []ShardStatus `json:"shards"`
+	Live        int           `json:"live"` // shards in the serving set
+	Resources   int           `json:"resources"`
+	AuthVersion uint64        `json:"auth_version"`
+}
+
+// Introspect snapshots the engine's degradation state: per-shard health,
+// last divergence, and active-table version/size, plus the authoritative
+// table's view. Control-plane only — it takes the writer lock (then the
+// producer lock for the live count; lock order wmu → pmu), so the snapshot
+// is consistent with respect to writes, while decisions keep flowing.
+func (e *Engine) Introspect() EngineStatus {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	st := EngineStatus{
+		Shards:      make([]ShardStatus, 0, len(e.shards)),
+		Resources:   e.auth.Size(),
+		AuthVersion: e.auth.Version(),
+	}
+	for _, s := range e.shards {
+		ss := ShardStatus{Health: ShardHealth(s.health.Load()).String()}
+		if s.lastErr != nil {
+			ss.LastErr = s.lastErr.Error()
+		}
+		// Safe to read under wmu: readers never mutate tables, and every
+		// mutator (apply, swap, resync) holds wmu, which we hold.
+		act := s.active.Load()
+		ss.TableVersion = act.table.Version()
+		ss.TableSize = act.table.Size()
+		st.Shards = append(st.Shards, ss)
+	}
+	e.pmu.Lock()
+	st.Live = e.live
+	e.pmu.Unlock()
+	return st
+}
+
 // quarantineLocked moves a healthy shard to Quarantined, pulls it out of the
 // steering table (failover), and starts its background resync loop. Caller
 // holds wmu. Idempotent per transition: only the Healthy→Quarantined edge
 // spawns a resync.
+//
+//thanos:wallclock flight-recorder timestamps are diagnostics, not simulation state
 func (e *Engine) quarantineLocked(si int, cause error) {
 	s := e.shards[si]
 	if !s.health.CompareAndSwap(int32(Healthy), int32(Quarantined)) {
@@ -77,9 +132,12 @@ func (e *Engine) quarantineLocked(si int, cause error) {
 	s.lastErr = cause
 	e.quarCtr.Inc()
 	e.quarGauge.Add(1)
+	// The flight record is atomics-only (safe under wmu); the OnQuarantine
+	// callback may do I/O, so it runs on the resync goroutine, not here.
+	e.flight.Event(telemetry.EventQuarantine, 0, time.Now().UnixNano(), int64(si))
 	e.rebuildSteering()
 	e.bg.Add(1)
-	go e.resyncLoop(si)
+	go e.resyncLoop(si, cause)
 }
 
 // rebuildSteering recomputes the home-shard → serving-shard table from the
@@ -118,9 +176,15 @@ func (e *Engine) rebuildSteering() {
 
 // resyncLoop drives one quarantined shard back to health, retrying failed
 // rebuilds with capped exponential backoff until it succeeds or the engine
-// closes.
-func (e *Engine) resyncLoop(si int) {
+// closes. It also delivers the OnQuarantine callback: this goroutine holds
+// no engine lock, so the callback is free to block or dump diagnostics.
+//
+//thanos:wallclock flight-recorder timestamps are diagnostics, not simulation state
+func (e *Engine) resyncLoop(si int, cause error) {
 	defer e.bg.Done()
+	if e.onQuar != nil {
+		e.onQuar(si, cause)
+	}
 	delay := e.resyncBase
 	for attempt := 0; ; attempt++ {
 		select {
@@ -131,6 +195,7 @@ func (e *Engine) resyncLoop(si int) {
 		if err := e.resyncShard(si, attempt); err == nil {
 			e.resyncCtr.Inc()
 			e.quarGauge.Add(-1)
+			e.flight.Event(telemetry.EventResync, 0, time.Now().UnixNano(), int64(si))
 			return
 		}
 		e.retryCtr.Inc()

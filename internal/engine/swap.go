@@ -3,8 +3,10 @@ package engine
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"repro/internal/policy"
+	"repro/internal/telemetry"
 )
 
 // SwapPolicy replaces the policy every shard executes, without stopping the
@@ -26,6 +28,8 @@ import (
 // Per-step chain telemetry is labeled for the construction-time policy; when
 // the swapped-in program has a different shape those counters detach from the
 // affected shards (decision, table and degradation telemetry continue).
+//
+//thanos:wallclock flight-recorder timestamps are diagnostics, not simulation state
 func (e *Engine) SwapPolicy(p *policy.Policy) error {
 	e.wmu.Lock()
 	defer e.wmu.Unlock()
@@ -77,6 +81,7 @@ func (e *Engine) SwapPolicy(p *policy.Policy) error {
 	e.pol = p
 	e.pmu.Unlock()
 	e.polSwaps.Inc()
+	e.flight.Event(telemetry.EventSwap, 0, time.Now().UnixNano(), int64(len(plan)))
 	return nil
 }
 

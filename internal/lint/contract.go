@@ -91,7 +91,9 @@ func DefaultConfig() Config {
 				"OpPing":   "OpPong",
 			},
 			Universal: []string{"OpReject", "OpErr"},
-			Bodyless:  []string{"OpPing", "OpPong"},
+			// OpPong left Bodyless in protocol v2: it now carries uptime +
+			// build info, so DecodePong is required.
+			Bodyless:  []string{"OpPing"},
 			CapConsts: []string{"MaxPayload", "MaxBatch"},
 			CapArgs: map[string]int{
 				"NewFrameReader": 1,
@@ -100,6 +102,11 @@ func DefaultConfig() Config {
 				"DecodeTable":    2,
 				"DecodeTableAck": 1,
 			},
+			// TraceFlag rides on the high bit of the Decide/Decided count
+			// word; the analyzer proves it can never collide with a legal
+			// count (> MaxBatch) and fits the u16 word.
+			Flags:    []string{"TraceFlag"},
+			CountCap: "MaxBatch",
 		},
 		Telemetry: TelemetryConfig{
 			Pkg: "repro/internal/telemetry",
@@ -110,9 +117,13 @@ func DefaultConfig() Config {
 			HotSafe: []string{
 				"(*Counter).Inc", "(*Counter).Add",
 				"(*Gauge).Set", "(*Gauge).Add",
-				"(*Histogram).Observe",
+				"(*Histogram).Observe", "(*Histogram).ObserveExemplar",
 				"(*Tracer).Sample",
 				"(*Trace).AddStage", "(*Trace).Finish",
+				// Span recording is a slot claim + per-slot seqlock publish:
+				// lock-free, allocation-free, audited by the AllocsPerRun
+				// tests in internal/telemetry.
+				"(*SpanRing).Record", "(*SpanRing).Event",
 			},
 		},
 	}

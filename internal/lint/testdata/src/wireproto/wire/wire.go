@@ -1,11 +1,21 @@
 // Package wire seeds wire-contract violations: an unclassified opcode, a
 // request with no encoder, a reply with no decoder, a dispatch switch
-// missing a request arm, and cap arguments diverging from the shared
-// constants.
-package wire
+// missing a request arm, cap arguments diverging from the shared constants,
+// and count-word flag bits that collide with legal counts.
+package wire // want `flag constant FlagMissing is not declared`
 
 // MaxPayload is the shared frame cap both ends must enforce.
 const MaxPayload = 1 << 16
+
+// MaxOps is the per-frame op-count cap; flag bits must ride above it.
+const MaxOps = 256
+
+// Count-word flag bits.
+const (
+	FlagTrace = 0x8000
+	FlagLow   = 0x0100  // want `collides with legal counts`
+	FlagWide  = 0x10000 // want `does not fit the u16 count word`
+)
 
 // Opcodes.
 const (

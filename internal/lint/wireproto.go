@@ -54,6 +54,14 @@ type WireConfig struct {
 	// CapArgs maps a codec/reader function name to the index of its cap
 	// argument.
 	CapArgs map[string]int
+	// Flags are count-word flag constants (e.g. a trace bit riding on the
+	// high bits of the u16 count). Each must be declared in the wire package
+	// with a value strictly greater than the CountCap constant — so a flagged
+	// count can never collide with a legal plain count — and below 1<<16 so
+	// it fits the count word at all.
+	Flags []string
+	// CountCap is the batch-cap constant flag values are checked against.
+	CountCap string
 }
 
 func runWireProto(u *Unit) error {
@@ -79,6 +87,7 @@ func runWireProto(u *Unit) error {
 	checkDispatch(u, cfg, ops)
 	checkClient(u, cfg, ops, funcs)
 	checkCaps(u, cfg, wire)
+	checkFlags(u, cfg, wire)
 	return nil
 }
 
@@ -325,6 +334,50 @@ func checkCaps(u *Unit, cfg WireConfig, wire *Package) {
 					fnObj.Name(), strings.Join(cfg.CapConsts, " or "))
 				return true
 			})
+		}
+	}
+}
+
+// checkFlags verifies count-word flag constants: every configured flag must
+// be declared in the wire package, exceed the count cap (so setting the flag
+// can never be mistaken for a legal count), and fit the u16 count word. This
+// pins the wire invariant that makes in-band trace flags safe to decode.
+func checkFlags(u *Unit, cfg WireConfig, wire *Package) {
+	if len(cfg.Flags) == 0 || cfg.CountCap == "" {
+		return
+	}
+	reportPkg := func(format string, args ...any) {
+		if len(wire.Files) > 0 {
+			u.Reportf(wire.Files[0].Pos(), format, args...)
+		}
+	}
+	capObj, _ := wire.Types.Scope().Lookup(cfg.CountCap).(*types.Const)
+	if capObj == nil {
+		reportPkg("count cap constant %s is not declared in %s", cfg.CountCap, cfg.Pkg)
+		return
+	}
+	capVal, exact := constant.Int64Val(constant.ToInt(capObj.Val()))
+	if !exact {
+		reportPkg("count cap constant %s is not an integer constant", cfg.CountCap)
+		return
+	}
+	for _, name := range cfg.Flags {
+		fl, _ := wire.Types.Scope().Lookup(name).(*types.Const)
+		if fl == nil {
+			reportPkg("flag constant %s is not declared in %s", name, cfg.Pkg)
+			continue
+		}
+		v, exact := constant.Int64Val(constant.ToInt(fl.Val()))
+		if !exact {
+			u.Reportf(fl.Pos(), "flag constant %s is not an integer constant", name)
+			continue
+		}
+		if v <= capVal {
+			u.Reportf(fl.Pos(), "flag constant %s (%#x) collides with legal counts: it must exceed %s (%d)",
+				name, v, cfg.CountCap, capVal)
+		}
+		if v >= 1<<16 {
+			u.Reportf(fl.Pos(), "flag constant %s (%#x) does not fit the u16 count word", name, v)
 		}
 	}
 }

@@ -17,6 +17,8 @@ func TestWireProto(t *testing.T) {
 		Bodyless:  []string{"OpPing", "OpPong"},
 		CapConsts: []string{"MaxPayload"},
 		CapArgs:   map[string]int{"NewReader": 1, "DecodeStat": 1},
+		Flags:     []string{"FlagTrace", "FlagLow", "FlagWide", "FlagMissing"},
+		CountCap:  "MaxOps",
 	}}
 	checkFixture(t, WireProto, cfg, "fixture/wireproto/wire", "fixture/wireproto/client")
 }

@@ -130,7 +130,7 @@ func TestBackpressureRejects(t *testing.T) {
 		if op != OpDecided || seq != want {
 			t.Fatalf("reply op=%#x seq=%d, want Decided seq=%d", op, seq, want)
 		}
-		ids, err := DecodeDecided(body, MaxBatch, nil)
+		ids, _, err := DecodeDecided(body, MaxBatch, nil)
 		if err != nil || len(ids) != 1 || ids[0] != 1 {
 			t.Fatalf("decided %d: ids=%v err=%v", want, ids, err)
 		}

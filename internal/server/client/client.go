@@ -18,10 +18,12 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fault"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
 // ErrRejected reports a server Reject frame: the request was not executed
@@ -59,12 +61,28 @@ type Config struct {
 	// MaxDialAttempts caps consecutive failed redials before a call reports
 	// the dial error. 0 means 8.
 	MaxDialAttempts int
+	// TraceEvery samples 1 in every TraceEvery Decide calls for end-to-end
+	// tracing: the sampled call's frame carries a deterministic trace ID
+	// (derived from Seed and the call sequence) and the server echoes its
+	// phase stamps in the reply. 0 disables sampling. Tracing additionally
+	// requires the server to speak protocol v2 (checked via Hello), so a
+	// traced client degrades cleanly against an old server.
+	TraceEvery int
+	// Flight, when non-nil, receives the client-side spans of traced calls
+	// (enqueue, wire, reply) and reconnect events for the flight recorder.
+	Flight *telemetry.SpanRing
 }
 
 // Client is a pipelined protocol client. Safe for concurrent use.
 type Client struct {
 	cfg Config
 	sem chan struct{} // inflight window
+
+	// traceSeq counts Decide calls for the deterministic 1-in-N sampling
+	// decision; remoteVer holds the server's negotiated protocol version
+	// (traced frames are only sent when it is >= 2).
+	traceSeq  atomic.Uint64
+	remoteVer atomic.Uint32
 
 	// wmu serializes frame writes onto the socket. It is dedicated to I/O
 	// and never held together with mu: state bookkeeping happens under mu,
@@ -78,6 +96,7 @@ type Client struct {
 	nc      net.Conn
 	bw      *bufio.Writer
 	seq     uint32
+	gen     int // connection generation; >1 means a reconnect happened
 	pending map[uint32]chan reply
 	bo      *fault.Backoff
 	closed  bool
@@ -135,6 +154,11 @@ func (c *Client) connectLocked() error {
 	c.bw = bufio.NewWriter(nc)
 	c.pending = make(map[uint32]chan reply)
 	c.bo.Reset()
+	c.gen++
+	if c.gen > 1 {
+		// Lock-free atomics only — safe under mu.
+		c.cfg.Flight.Event(telemetry.EventReconnect, 0, time.Now().UnixNano(), int64(c.gen))
+	}
 	c.rwg.Add(1)
 	go c.readLoop(nc)
 	return nil
@@ -192,6 +216,16 @@ func (c *Client) teardown(nc net.Conn, cause error) {
 // resends a request that was already written — the caller owns that retry
 // decision, because table ops are not idempotent.
 func (c *Client) roundTrip(build func(dst []byte, seq uint32) []byte) (reply, error) {
+	return c.roundTripTrace(build, nil)
+}
+
+// roundTripTrace is roundTrip plus client-side phase stamps for a traced
+// call: when ti is non-nil, it records entry (enqueue), post-write (send)
+// and reply-received times on the client clock.
+func (c *Client) roundTripTrace(build func(dst []byte, seq uint32) []byte, ti *TraceInfo) (reply, error) {
+	if ti != nil {
+		ti.EnqueueNs = time.Now().UnixNano()
+	}
 	c.sem <- struct{}{}
 	defer func() { <-c.sem }()
 
@@ -232,6 +266,9 @@ func (c *Client) roundTrip(build func(dst []byte, seq uint32) []byte) (reply, er
 			werr = bw.Flush()
 		}
 		c.wmu.Unlock()
+		if ti != nil {
+			ti.SendNs = time.Now().UnixNano()
+		}
 		if werr != nil {
 			c.mu.Lock()
 			if c.pending != nil {
@@ -243,6 +280,9 @@ func (c *Client) roundTrip(build func(dst []byte, seq uint32) []byte) (reply, er
 		}
 
 		r := <-ch
+		if ti != nil {
+			ti.ReplyNs = time.Now().UnixNano()
+		}
 		if r.err != nil {
 			return reply{}, r.err
 		}
@@ -268,26 +308,115 @@ func (c *Client) Hello() (server.HelloInfo, error) {
 	if r.op != server.OpHelloAck {
 		return server.HelloInfo{}, fmt.Errorf("%w: op 0x%02x to hello", ErrRemote, r.op)
 	}
-	return server.DecodeHelloAck(r.body)
+	info, err := server.DecodeHelloAck(r.body)
+	if err == nil {
+		// Version gate for tracing: traced frames are only legal against a
+		// v2+ server, so remember what the other side speaks.
+		c.remoteVer.Store(uint32(info.Version))
+	}
+	return info, err
+}
+
+// TraceInfo is one traced Decide call's cross-layer timeline: the trace
+// ID, the client-side phase stamps (this process's clock) and the server's
+// echoed phase stamps (the server's clock). ID is zero when the call was
+// not sampled — the other fields are then meaningless.
+type TraceInfo struct {
+	ID        uint64
+	EnqueueNs int64 // call entered the client (before the inflight window)
+	SendNs    int64 // frame written and flushed to the socket
+	ReplyNs   int64 // reply received and decoded
+	Server    server.DecideTrace
+}
+
+// splitmix64 is the trace-ID mixer: a full-period permutation of the call
+// sequence, so IDs are deterministic per (seed, call index), well spread,
+// and never collide within a run.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// nextTraceID makes the 1-in-N sampling decision for one Decide call and
+// returns the call's trace ID (0 = not sampled). Deterministic for a given
+// Config.Seed and call order.
+func (c *Client) nextTraceID() uint64 {
+	if c.cfg.TraceEvery <= 0 || c.remoteVer.Load() < 2 {
+		return 0
+	}
+	n := c.traceSeq.Add(1)
+	if n%uint64(c.cfg.TraceEvery) != 0 {
+		return 0
+	}
+	id := splitmix64(uint64(c.cfg.Seed) ^ n)
+	if id == 0 {
+		id = 1
+	}
+	return id
 }
 
 // Decide runs one batched decision round: keys[i] is the flow key, outs[i]
 // the policy output index. ids is reused when large enough; id -1 means no
-// resource was selected.
+// resource was selected. When trace sampling is configured the sampled
+// calls are traced invisibly (the timeline goes to the flight ring); use
+// DecideTraced to also receive the timeline.
 func (c *Client) Decide(keys []uint64, outs []uint16, ids []int32) ([]int32, error) {
+	return c.DecideTraced(keys, outs, ids, nil)
+}
+
+// DecideTraced is Decide plus trace capture: when the call is sampled (per
+// Config.TraceEvery) and ti is non-nil, ti receives the stitched timeline.
+// An unsampled call leaves ti.ID zero. The sampled path allocates only
+// what Decide already allocates; client spans are additionally recorded
+// into Config.Flight when set.
+func (c *Client) DecideTraced(keys []uint64, outs []uint16, ids []int32, ti *TraceInfo) ([]int32, error) {
 	if len(keys) != len(outs) {
 		return ids[:0], fmt.Errorf("client: %d keys, %d outs", len(keys), len(outs))
 	}
-	r, err := c.roundTrip(func(dst []byte, seq uint32) []byte {
-		return server.AppendDecide(dst, seq, keys, outs)
-	})
+	traceID := c.nextTraceID()
+	if traceID == 0 {
+		if ti != nil {
+			ti.ID = 0
+		}
+		r, err := c.roundTrip(func(dst []byte, seq uint32) []byte {
+			return server.AppendDecide(dst, seq, keys, outs)
+		})
+		return c.finishDecide(r, err, ids, nil)
+	}
+	var local TraceInfo
+	if ti == nil {
+		ti = &local
+	}
+	ti.ID = traceID
+	r, err := c.roundTripTrace(func(dst []byte, seq uint32) []byte {
+		return server.AppendDecideTrace(dst, seq, keys, outs, traceID)
+	}, ti)
+	return c.finishDecide(r, err, ids, ti)
+}
+
+// finishDecide validates and decodes a Decided reply and, for a traced
+// call, completes the timeline and records the client-side spans.
+func (c *Client) finishDecide(r reply, err error, ids []int32, ti *TraceInfo) ([]int32, error) {
 	if err != nil {
 		return ids[:0], err
 	}
 	if r.op != server.OpDecided {
 		return ids[:0], fmt.Errorf("%w: op 0x%02x to decide", ErrRemote, r.op)
 	}
-	return server.DecodeDecided(r.body, server.MaxBatch, ids)
+	ids, tr, err := server.DecodeDecided(r.body, server.MaxBatch, ids)
+	if err != nil || ti == nil {
+		return ids, err
+	}
+	ti.Server = tr
+	flight := c.cfg.Flight
+	flight.Record(telemetry.SpanEnqueue, ti.ID, ti.EnqueueNs, ti.SendNs, 0)
+	// Wire and reply spans mix the two clocks; on one host (UDS, loopback)
+	// they share a kernel clock, across hosts they carry the skew.
+	flight.Record(telemetry.SpanWire, ti.ID, ti.SendNs, tr.RecvNs, 0)
+	flight.Record(telemetry.SpanReply, ti.ID, tr.DoneNs, ti.ReplyNs, 0)
+	return ids, nil
 }
 
 // Apply runs a batch of SMBM table ops and returns one status byte per op.
@@ -330,18 +459,19 @@ func (c *Client) SwapPolicy(dsl string) error {
 	return nil
 }
 
-// Ping round-trips a liveness frame.
-func (c *Client) Ping() error {
+// Ping round-trips a liveness frame and returns the server's identity
+// (uptime + build). A v1 server's empty Pong yields the zero PongInfo.
+func (c *Client) Ping() (server.PongInfo, error) {
 	r, err := c.roundTrip(func(dst []byte, seq uint32) []byte {
 		return server.AppendPing(dst, seq)
 	})
 	if err != nil {
-		return err
+		return server.PongInfo{}, err
 	}
 	if r.op != server.OpPong {
-		return fmt.Errorf("%w: op 0x%02x to ping", ErrRemote, r.op)
+		return server.PongInfo{}, fmt.Errorf("%w: op 0x%02x to ping", ErrRemote, r.op)
 	}
-	return nil
+	return server.DecodePong(r.body)
 }
 
 // Close tears the connection down; all pending calls fail with ErrConnReset

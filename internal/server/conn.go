@@ -11,6 +11,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/policy"
 	"repro/internal/smbm"
+	"repro/internal/telemetry"
 )
 
 // request is one admitted frame awaiting execution, with its decoded
@@ -24,6 +25,14 @@ type request struct {
 	ops   []TableOp       // table
 	arena []int64         // backing values for ops
 	dsl   []byte          // swap
+
+	// Trace context for a traced Decide (protocol v2): the client's trace
+	// ID plus the server-side phase stamps accumulated as the request moves
+	// reader -> ring -> worker. traceID 0 means untraced and the stamps are
+	// never taken, keeping the common path identical to v1.
+	traceID uint64
+	recvNs  int64 // frame decoded off the socket
+	admitNs int64 // admitted to the ring
 }
 
 // conn is one served connection: a read loop that decodes and admits frames
@@ -96,6 +105,7 @@ func (c *conn) readLoop() {
 		case req = <-c.free:
 		default:
 			c.srv.m.rejects.Inc()
+			c.srv.flight.Event(telemetry.EventReject, 0, nowNs(), int64(seq))
 			c.writeReader(AppendReject(c.rout[:0], seq, RejectBusy))
 			continue
 		}
@@ -105,9 +115,13 @@ func (c *conn) readLoop() {
 			c.free <- req
 			if fatal {
 				c.srv.m.protoErrs.Inc()
+				c.srv.flight.Event(telemetry.EventProtoErr, 0, nowNs(), int64(seq))
 				return
 			}
 			continue
+		}
+		if req.traceID != 0 {
+			req.admitNs = nowNs()
 		}
 		c.srv.m.inflight.Add(1)
 		select {
@@ -125,9 +139,14 @@ func (c *conn) readLoop() {
 // an Err frame has been sent).
 func (c *conn) decodeInto(req *request, body []byte) (ok, fatal bool) {
 	var err error
+	req.traceID = 0
 	switch req.op {
 	case OpDecide:
-		req.pkts, err = DecodeDecide(body, c.srv.maxBatch, req.pkts)
+		req.pkts, req.traceID, err = DecodeDecide(body, c.srv.maxBatch, req.pkts)
+		if req.traceID != 0 {
+			req.recvNs = nowNs()
+			c.srv.m.tracedReqs.Inc()
+		}
 	case OpTable:
 		dims := len(c.srv.be.Schema().Attrs)
 		req.ops, req.arena, err = DecodeTable(body, dims, c.srv.maxBatch, req.ops, req.arena)
@@ -180,6 +199,10 @@ func (c *conn) workLoop() {
 func (c *conn) serve(req *request) {
 	switch req.op {
 	case OpDecide:
+		if req.traceID != 0 {
+			c.serveTracedDecide(req)
+			return
+		}
 		start := time.Now()
 		c.srv.be.DecideBatch(req.pkts)
 		c.srv.m.decisions.Add(uint64(len(req.pkts)))
@@ -212,9 +235,38 @@ func (c *conn) serve(req *request) {
 	case OpHello:
 		c.writeWorker(AppendHelloAck(c.wout[:0], req.seq, c.srv.helloInfo()))
 	case OpPing:
-		c.writeWorker(AppendPong(c.wout[:0], req.seq))
+		c.writeWorker(AppendPong(c.wout[:0], req.seq, c.srv.pongInfo()))
 	}
 }
+
+// serveTracedDecide is the traced variant of the Decide arm: same backend
+// call and metrics, plus phase stamps echoed to the client in the reply's
+// DecideTrace trailer and recorded into the server's flight ring. The
+// extra cost over the plain path is three clock reads, one histogram
+// exemplar store and two lock-free ring records — all allocation-free.
+func (c *conn) serveTracedDecide(req *request) {
+	startNs := nowNs()
+	c.srv.be.DecideBatch(req.pkts)
+	doneNs := nowNs()
+	c.srv.m.decisions.Add(uint64(len(req.pkts)))
+	c.srv.m.batchHist.Observe(uint64(len(req.pkts)))
+	c.srv.m.latencyHist.ObserveExemplar(uint64((doneNs-startNs)/1000), req.traceID)
+	tr := DecideTrace{
+		ID:      req.traceID,
+		RecvNs:  req.recvNs,
+		AdmitNs: req.admitNs,
+		StartNs: startNs,
+		DoneNs:  doneNs,
+	}
+	c.writeWorker(AppendDecidedTrace(c.wout[:0], req.seq, req.pkts, tr))
+	flight := c.srv.flight
+	flight.Record(telemetry.SpanRingWait, req.traceID, req.admitNs, startNs, int64(len(req.pkts)))
+	flight.Record(telemetry.SpanDecide, req.traceID, startNs, doneNs, int64(len(req.pkts)))
+	flight.Record(telemetry.SpanEncode, req.traceID, doneNs, nowNs(), 0)
+}
+
+// nowNs is the server's phase-stamp clock.
+func nowNs() int64 { return time.Now().UnixNano() }
 
 // applyTableOp runs one SMBM op and maps its result to a wire status.
 // Replica divergence maps to StatusOK: the write landed on the

@@ -25,11 +25,15 @@ func fuzzSeeds() [][]byte {
 		AppendHelloAck(nil, 1, HelloInfo{Version: Version, Dims: 3, Capacity: 64, Shards: 2, Outputs: 1}),
 		AppendDecide(nil, 2, []uint64{1, 2, 3}, []uint16{0, 0, 1}),
 		AppendDecided(nil, 2, []engine.Packet{{ID: 4, OK: true}, {ID: -1}}),
+		AppendDecideTrace(nil, 2, []uint64{1, 2}, []uint16{0, 1}, 0xabad1dea),
+		AppendDecidedTrace(nil, 2, []engine.Packet{{ID: 4, OK: true}},
+			DecideTrace{ID: 0xabad1dea, RecvNs: 1, AdmitNs: 2, StartNs: 3, DoneNs: 4}),
 		AppendSwap(nil, 3, "policy p\nout a = min(table, cpu)\n"),
 		AppendSwapAck(nil, 3, StatusOK, ""),
 		AppendTableAck(nil, 4, []byte{StatusOK, StatusInvalid}),
 		AppendPing(nil, 5),
-		AppendPong(nil, 5),
+		AppendPong(nil, 5, PongInfo{UptimeNs: 42, Build: "fuzz"}),
+		AppendPong(nil, 5, PongInfo{}),
 		AppendReject(nil, 6, RejectBusy),
 		AppendErr(nil, 7, "boom"),
 	)
@@ -69,7 +73,7 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			}
 			switch op {
 			case OpDecide:
-				pkts, err := DecodeDecide(body, MaxBatch, nil)
+				pkts, traceID, err := DecodeDecide(body, MaxBatch, nil)
 				if err != nil {
 					continue
 				}
@@ -78,7 +82,12 @@ func FuzzFrameRoundTrip(f *testing.F) {
 				for i := range pkts {
 					keys[i], outs[i] = pkts[i].Key, uint16(pkts[i].Out)
 				}
-				re := AppendDecide(nil, seq, keys, outs)
+				var re []byte
+				if traceID != 0 {
+					re = AppendDecideTrace(nil, seq, keys, outs, traceID)
+				} else {
+					re = AppendDecide(nil, seq, keys, outs)
+				}
 				if !bytes.Equal(re[4+headerLen:], body) {
 					t.Fatalf("decide re-encode mismatch:\n  got  %x\n  want %x", re[4+headerLen:], body)
 				}
@@ -96,11 +105,13 @@ func FuzzFrameRoundTrip(f *testing.F) {
 					t.Fatalf("table re-encode mismatch:\n  got  %x\n  want %x", re[4+headerLen:], body)
 				}
 			case OpDecided:
-				_, _ = DecodeDecided(body, MaxBatch, nil)
+				_, _, _ = DecodeDecided(body, MaxBatch, nil)
 			case OpTableAck:
 				_, _ = DecodeTableAck(body, MaxBatch, nil)
 			case OpSwapAck:
 				_, _, _ = DecodeSwapAck(body)
+			case OpPong:
+				_, _ = DecodePong(body)
 			case OpReject:
 				_, _ = DecodeReject(body)
 			case OpHello:

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
@@ -55,6 +56,14 @@ type Config struct {
 	// registry. All handles are created here; the serve path is lock-free
 	// with respect to telemetry whether or not it is attached.
 	Telemetry *telemetry.Registry
+	// Flight, when non-nil, receives the server's recent request spans and
+	// state transitions (ring waits, decides, rejects, protocol errors,
+	// connection churn) for the always-on flight recorder. Records are
+	// lock-free and allocation-free; nil disables recording.
+	Flight *telemetry.SpanRing
+	// Build names the running build in Pong replies; empty selects the Go
+	// toolchain version.
+	Build string
 }
 
 // metrics is the server's telemetry handle set; the zero value (all nil)
@@ -70,6 +79,7 @@ type metrics struct {
 	rejects       *telemetry.Counter
 	inflight      *telemetry.Gauge
 	protoErrs     *telemetry.Counter
+	tracedReqs    *telemetry.Counter
 	batchHist     *telemetry.Histogram
 	latencyHist   *telemetry.Histogram
 }
@@ -89,6 +99,7 @@ func newMetrics(reg *telemetry.Registry) metrics {
 		rejects:       reg.NewCounter("thanos_server_rejects_total", "requests rejected with EAGAIN because a connection ring was full"),
 		inflight:      reg.NewGauge("thanos_server_inflight", "requests admitted and not yet answered"),
 		protoErrs:     reg.NewCounter("thanos_server_proto_errors_total", "connections dropped for malformed frames"),
+		tracedReqs:    reg.NewCounter("thanos_server_traced_requests_total", "decide requests carrying client trace context"),
 		batchHist:     reg.NewHistogram("thanos_server_decide_batch", "decide ops per request frame"),
 		latencyHist:   reg.NewHistogram("thanos_server_decide_latency_us", "server-side decide service time in microseconds"),
 	}
@@ -103,6 +114,9 @@ type Server struct {
 	maxConns int
 	maxBatch int
 	m        metrics
+	flight   *telemetry.SpanRing
+	build    string
+	start    time.Time
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -128,12 +142,19 @@ func New(cfg Config) (*Server, error) {
 	if maxBatch <= 0 || maxBatch > MaxBatch {
 		maxBatch = MaxBatch
 	}
+	build := cfg.Build
+	if build == "" {
+		build = runtime.Version()
+	}
 	return &Server{
 		be:        cfg.Backend,
 		ring:      ring,
 		maxConns:  maxConns,
 		maxBatch:  maxBatch,
 		m:         newMetrics(cfg.Telemetry),
+		flight:    cfg.Flight,
+		build:     build,
+		start:     time.Now(),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[*conn]struct{}),
 	}, nil
@@ -199,10 +220,12 @@ func (s *Server) admit(nc net.Conn) {
 		return
 	}
 	s.conns[c] = struct{}{}
+	open := len(s.conns)
 	s.wg.Add(2)
 	s.mu.Unlock()
 	s.m.connsOpen.Add(1)
 	s.m.connsTotal.Inc()
+	s.flight.Event(telemetry.EventConnOpen, 0, nowNs(), int64(open))
 	go c.readLoop()
 	go c.workLoop()
 }
@@ -236,9 +259,11 @@ func (s *Server) removeConn(c *conn) {
 	s.mu.Lock()
 	_, present := s.conns[c]
 	delete(s.conns, c)
+	open := len(s.conns)
 	s.mu.Unlock()
 	if present {
 		s.m.connsOpen.Add(-1)
+		s.flight.Event(telemetry.EventConnClose, 0, nowNs(), int64(open))
 	}
 }
 
@@ -251,6 +276,57 @@ func (s *Server) helloInfo() HelloInfo {
 		Shards:   uint16(s.be.Shards()),
 		Outputs:  uint16(len(s.be.Policy().Outputs)),
 	}
+}
+
+// pongInfo snapshots the server identity for a Pong reply.
+func (s *Server) pongInfo() PongInfo {
+	return PongInfo{UptimeNs: uint64(time.Since(s.start)), Build: s.build}
+}
+
+// ConnStatus is one connection's live queue state in a Status snapshot.
+type ConnStatus struct {
+	RingDepth int `json:"ring_depth"` // admitted requests awaiting the worker
+	RingCap   int `json:"ring_cap"`
+	FreeSlots int `json:"free_slots"` // request objects available to the reader
+}
+
+// Status is the server's introspection snapshot (/debug/thanos).
+type Status struct {
+	Version  uint16       `json:"version"`
+	Build    string       `json:"build"`
+	UptimeNs uint64       `json:"uptime_ns"`
+	MaxConns int          `json:"max_conns"`
+	MaxBatch int          `json:"max_batch"`
+	Conns    []ConnStatus `json:"conns"`
+}
+
+// Introspect snapshots the server's live state: per-connection ring
+// occupancy and free-list depth plus identity. Control-plane only — it
+// takes the server lock, but reads each conn's channels without stopping
+// the serving goroutines, so depths are instantaneous estimates.
+func (s *Server) Introspect() Status {
+	st := Status{
+		Version:  Version,
+		Build:    s.build,
+		UptimeNs: uint64(time.Since(s.start)),
+		MaxConns: s.maxConns,
+		MaxBatch: s.maxBatch,
+	}
+	s.mu.Lock()
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	st.Conns = make([]ConnStatus, 0, len(conns))
+	for _, c := range conns {
+		st.Conns = append(st.Conns, ConnStatus{
+			RingDepth: len(c.ring),
+			RingCap:   cap(c.ring),
+			FreeSlots: len(c.free),
+		})
+	}
+	return st
 }
 
 func writeAll(w net.Conn, b []byte) error {

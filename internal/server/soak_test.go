@@ -8,6 +8,7 @@ import (
 	"errors"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/server"
 	"repro/internal/server/client"
+	"repro/internal/telemetry"
 )
 
 // soakStats aggregates per-goroutine outcomes; only coarse invariants are
@@ -35,11 +37,24 @@ func TestSoakFaultInjected(t *testing.T) {
 		t.Skip("soak skipped in -short mode")
 	}
 	const shards, capacity = 4, 64
+	// The flight recorder rides along for the whole soak; when the test fails
+	// the recent span/event history is dumped into the log, which is exactly
+	// the post-mortem the recorder exists for.
+	fl := telemetry.NewFlightRecorder()
+	defer func() {
+		if t.Failed() {
+			var dump strings.Builder
+			if err := fl.WriteJSON(&dump, "soak failure"); err == nil {
+				t.Logf("flight recorder:\n%s", dump.String())
+			}
+		}
+	}()
 	eng, err := engine.New(engine.Config{
 		Shards:   shards,
 		Capacity: capacity,
 		Schema:   diffSchema,
 		Policy:   policy.MustParse(diffPolicies[0]),
+		Flight:   fl.Ring("engine", 512),
 		// Fast resync retries keep quarantine windows short relative to the
 		// soak duration.
 		ResyncBase: time.Millisecond,
@@ -49,7 +64,7 @@ func TestSoakFaultInjected(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer eng.Close()
-	srv, err := server.New(server.Config{Backend: eng, Ring: 8})
+	srv, err := server.New(server.Config{Backend: eng, Ring: 8, Flight: fl.Ring("server", 512)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -31,6 +31,20 @@
 // it unchanged to engine.DecideBatch, which steers key mod shards, so one
 // flow's packets always execute on the same pipeline replica no matter which
 // connection delivered them.
+//
+// # Trace context (protocol v2)
+//
+// A client that saw HelloAck.Version >= 2 may mark individual Decide frames
+// as traced by setting TraceFlag (bit 15) in the leading count word and
+// appending a u64 trace ID — the client makes the 1-in-N sampling decision,
+// downstream just honors it. The server answers a traced Decide with a
+// traced Decided: TraceFlag set and a trailing DecideTrace carrying the
+// trace ID plus the server-side phase stamps (recv, ring admit, decide
+// start, decide done), which lets the client stitch one cross-layer
+// timeline without scraping the server. Untraced frames are byte-identical
+// to protocol v1, and servers never send trace context unsolicited, so old
+// peers interoperate unchanged. The Pong body (uptime + build) is also new
+// in v2; v1's empty Pong still decodes.
 package server
 
 import (
@@ -45,7 +59,10 @@ import (
 // Protocol constants. Version bumps whenever a frame layout changes.
 const (
 	// Version is the wire protocol version spoken by this package.
-	Version = 1
+	// Version 2 adds optional trace context on Decide/Decided (TraceFlag)
+	// and the Pong identity body; both are invisible to v1 peers, but a
+	// client must see HelloAck.Version >= 2 before sending traced frames.
+	Version = 2
 
 	// MaxPayload caps one frame's payload (opcode + seq + body). Read paths
 	// reject larger declared lengths before allocating anything.
@@ -53,6 +70,13 @@ const (
 
 	// MaxBatch caps the ops in one Decide or Table frame.
 	MaxBatch = 4096
+
+	// TraceFlag marks a traced Decide/Decided body: set in the high bit of
+	// the leading u16 count, it flags a trailing trace section (a u64 trace
+	// ID on Decide; a DecideTrace record on Decided). The bit can never
+	// collide with a real count because counts are capped at MaxBatch,
+	// which is far below bit 15 — wireproto lint enforces that statically.
+	TraceFlag = 0x8000
 
 	// headerLen is opcode + seq, the fixed payload prefix.
 	headerLen = 5
@@ -119,6 +143,31 @@ type HelloInfo struct {
 	Outputs  uint16 // outputs of the currently served policy
 }
 
+// DecideTrace is the server-side trace context echoed on a traced Decided
+// reply: the sampled request's trace ID plus the server's phase stamps
+// (unix nanoseconds on the server clock). A zero ID means "untraced".
+// The phases map onto the frame's life: Recv (frame decoded off the
+// socket), Admit (admitted to the per-connection ring), Start (worker
+// dequeued it and entered DecideBatch), Done (DecideBatch returned).
+type DecideTrace struct {
+	ID      uint64
+	RecvNs  int64
+	AdmitNs int64
+	StartNs int64
+	DoneNs  int64
+}
+
+// decideTraceLen is the wire size of a DecideTrace trailer.
+const decideTraceLen = 40
+
+// PongInfo is the server identity carried by a Pong reply: how long the
+// server has been up and what build is serving. A v1 Pong has an empty
+// body and decodes to the zero PongInfo.
+type PongInfo struct {
+	UptimeNs uint64
+	Build    string
+}
+
 // --- encoding ---
 // All encoders append one complete frame to dst and return the extended
 // slice, so steady-state callers reuse one buffer with no per-frame
@@ -168,6 +217,20 @@ func AppendDecide(dst []byte, seq uint32, keys []uint64, outs []uint16) []byte {
 	return dst
 }
 
+// AppendDecideTrace appends a traced decision request: the same body as
+// AppendDecide plus the TraceFlag count bit and a trailing u64 trace ID.
+// traceID must be non-zero (zero means "untraced" everywhere) and the
+// receiving server must have negotiated Version >= 2 via Hello.
+func AppendDecideTrace(dst []byte, seq uint32, keys []uint64, outs []uint16, traceID uint64) []byte {
+	dst = appendHeader(dst, OpDecide, seq, 2+len(keys)*10+8)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(keys))|TraceFlag)
+	for i, k := range keys {
+		dst = binary.LittleEndian.AppendUint64(dst, k)
+		dst = binary.LittleEndian.AppendUint16(dst, outs[i])
+	}
+	return binary.LittleEndian.AppendUint64(dst, traceID)
+}
+
 // AppendDecided appends the decision reply for pkts: one i32 id per packet,
 // -1 when no resource was selected (OK is recoverable as id >= 0).
 func AppendDecided(dst []byte, seq uint32, pkts []engine.Packet) []byte {
@@ -181,6 +244,26 @@ func AppendDecided(dst []byte, seq uint32, pkts []engine.Packet) []byte {
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(id))
 	}
 	return dst
+}
+
+// AppendDecidedTrace appends a traced decision reply: the AppendDecided
+// body plus the TraceFlag count bit and a trailing DecideTrace. Servers
+// only send it in answer to a traced request, so v1 clients never see it.
+func AppendDecidedTrace(dst []byte, seq uint32, pkts []engine.Packet, tr DecideTrace) []byte {
+	dst = appendHeader(dst, OpDecided, seq, 2+len(pkts)*4+decideTraceLen)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(pkts))|TraceFlag)
+	for i := range pkts {
+		id := int32(pkts[i].ID)
+		if !pkts[i].OK {
+			id = -1
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(id))
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, tr.ID)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(tr.RecvNs))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(tr.AdmitNs))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(tr.StartNs))
+	return binary.LittleEndian.AppendUint64(dst, uint64(tr.DoneNs))
 }
 
 // AppendTable appends a batched table-update request. Every non-delete op
@@ -246,11 +329,16 @@ func AppendErr(dst []byte, seq uint32, msg string) []byte {
 	return append(dst, msg...)
 }
 
-// AppendPing / AppendPong append liveness frames.
+// AppendPing appends a liveness request (empty body).
 func AppendPing(dst []byte, seq uint32) []byte { return appendHeader(dst, OpPing, seq, 0) }
 
-// AppendPong appends the liveness reply.
-func AppendPong(dst []byte, seq uint32) []byte { return appendHeader(dst, OpPong, seq, 0) }
+// AppendPong appends the liveness reply carrying the server identity:
+// u64 uptime nanoseconds followed by the build string.
+func AppendPong(dst []byte, seq uint32, info PongInfo) []byte {
+	dst = appendHeader(dst, OpPong, seq, 8+len(info.Build))
+	dst = binary.LittleEndian.AppendUint64(dst, info.UptimeNs)
+	return append(dst, info.Build...)
+}
 
 // --- decoding ---
 // Decoders validate the declared counts against the actual body length
@@ -281,45 +369,93 @@ func DecodeHelloAck(body []byte) (HelloInfo, error) {
 
 // DecodeDecide parses a Decide body into pkts (reusing its backing array).
 // Every packet comes back with ID=-1, OK=false, ready for DecideBatch.
-func DecodeDecide(body []byte, maxBatch int, pkts []engine.Packet) ([]engine.Packet, error) {
+// The returned traceID is non-zero when the sender set TraceFlag and
+// appended a trace ID (protocol v2); plain v1 bodies return 0.
+func DecodeDecide(body []byte, maxBatch int, pkts []engine.Packet) ([]engine.Packet, uint64, error) {
 	if len(body) < 2 {
-		return pkts[:0], fmt.Errorf("%w: decide body %d bytes", ErrMalformed, len(body))
+		return pkts[:0], 0, fmt.Errorf("%w: decide body %d bytes", ErrMalformed, len(body))
 	}
-	n := int(binary.LittleEndian.Uint16(body))
+	count := binary.LittleEndian.Uint16(body)
+	n, traced := int(count&^TraceFlag), count&TraceFlag != 0
 	if n > maxBatch {
-		return pkts[:0], fmt.Errorf("%w: %d decide ops (max %d)", ErrMalformed, n, maxBatch)
+		return pkts[:0], 0, fmt.Errorf("%w: %d decide ops (max %d)", ErrMalformed, n, maxBatch)
 	}
-	if len(body) != 2+n*10 {
-		return pkts[:0], fmt.Errorf("%w: decide body %d bytes for %d ops", ErrMalformed, len(body), n)
+	want := 2 + n*10
+	if traced {
+		want += 8
+	}
+	if len(body) != want {
+		return pkts[:0], 0, fmt.Errorf("%w: decide body %d bytes for %d ops", ErrMalformed, len(body), n)
 	}
 	pkts = pkts[:0]
-	for off := 2; off < len(body); off += 10 {
+	for off := 2; off < 2+n*10; off += 10 {
 		pkts = append(pkts, engine.Packet{
 			Key: binary.LittleEndian.Uint64(body[off:]),
 			Out: int(binary.LittleEndian.Uint16(body[off+8:])),
 			ID:  -1,
 		})
 	}
-	return pkts, nil
+	var traceID uint64
+	if traced {
+		traceID = binary.LittleEndian.Uint64(body[2+n*10:])
+		if traceID == 0 {
+			return pkts[:0], 0, fmt.Errorf("%w: traced decide with zero trace id", ErrMalformed)
+		}
+	}
+	return pkts, traceID, nil
 }
 
 // DecodeDecided parses a Decided body into ids (reusing its backing array).
-func DecodeDecided(body []byte, maxBatch int, ids []int32) ([]int32, error) {
+// The returned DecideTrace carries the server's phase stamps when the
+// reply was traced (TraceFlag set); its ID is 0 for a plain v1 reply.
+func DecodeDecided(body []byte, maxBatch int, ids []int32) ([]int32, DecideTrace, error) {
+	var tr DecideTrace
 	if len(body) < 2 {
-		return ids[:0], fmt.Errorf("%w: decided body %d bytes", ErrMalformed, len(body))
+		return ids[:0], tr, fmt.Errorf("%w: decided body %d bytes", ErrMalformed, len(body))
 	}
-	n := int(binary.LittleEndian.Uint16(body))
+	count := binary.LittleEndian.Uint16(body)
+	n, traced := int(count&^TraceFlag), count&TraceFlag != 0
 	if n > maxBatch {
-		return ids[:0], fmt.Errorf("%w: %d decided ops (max %d)", ErrMalformed, n, maxBatch)
+		return ids[:0], tr, fmt.Errorf("%w: %d decided ops (max %d)", ErrMalformed, n, maxBatch)
 	}
-	if len(body) != 2+n*4 {
-		return ids[:0], fmt.Errorf("%w: decided body %d bytes for %d ops", ErrMalformed, len(body), n)
+	want := 2 + n*4
+	if traced {
+		want += decideTraceLen
+	}
+	if len(body) != want {
+		return ids[:0], tr, fmt.Errorf("%w: decided body %d bytes for %d ops", ErrMalformed, len(body), n)
 	}
 	ids = ids[:0]
-	for off := 2; off < len(body); off += 4 {
+	for off := 2; off < 2+n*4; off += 4 {
 		ids = append(ids, int32(binary.LittleEndian.Uint32(body[off:])))
 	}
-	return ids, nil
+	if traced {
+		off := 2 + n*4
+		tr.ID = binary.LittleEndian.Uint64(body[off:])
+		tr.RecvNs = int64(binary.LittleEndian.Uint64(body[off+8:]))
+		tr.AdmitNs = int64(binary.LittleEndian.Uint64(body[off+16:]))
+		tr.StartNs = int64(binary.LittleEndian.Uint64(body[off+24:]))
+		tr.DoneNs = int64(binary.LittleEndian.Uint64(body[off+32:]))
+		if tr.ID == 0 {
+			return ids[:0], DecideTrace{}, fmt.Errorf("%w: traced decided with zero trace id", ErrMalformed)
+		}
+	}
+	return ids, tr, nil
+}
+
+// DecodePong parses a Pong body. An empty body (protocol v1) decodes to
+// the zero PongInfo, so pinging an old server still succeeds.
+func DecodePong(body []byte) (PongInfo, error) {
+	if len(body) == 0 {
+		return PongInfo{}, nil
+	}
+	if len(body) < 8 {
+		return PongInfo{}, fmt.Errorf("%w: pong body %d bytes", ErrMalformed, len(body))
+	}
+	return PongInfo{
+		UptimeNs: binary.LittleEndian.Uint64(body),
+		Build:    string(body[8:]),
+	}, nil
 }
 
 // DecodeTable parses a Table body under a dims-wide schema into ops, with

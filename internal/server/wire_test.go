@@ -28,9 +28,12 @@ func TestWireDecideRoundTrip(t *testing.T) {
 	if op != OpDecide || seq != 7 {
 		t.Fatalf("op=%#x seq=%d", op, seq)
 	}
-	pkts, err := DecodeDecide(body, MaxBatch, nil)
+	pkts, traceID, err := DecodeDecide(body, MaxBatch, nil)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if traceID != 0 {
+		t.Fatalf("untraced decide decoded trace id %d", traceID)
 	}
 	if len(pkts) != len(keys) {
 		t.Fatalf("decoded %d pkts, want %d", len(pkts), len(keys))
@@ -57,9 +60,12 @@ func TestWireDecidedRoundTrip(t *testing.T) {
 	if op != OpDecided || seq != 9 {
 		t.Fatalf("op=%#x seq=%d", op, seq)
 	}
-	ids, err := DecodeDecided(body, MaxBatch, nil)
+	ids, tr, err := DecodeDecided(body, MaxBatch, nil)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if tr.ID != 0 {
+		t.Fatalf("untraced decided decoded trace %+v", tr)
 	}
 	want := []int32{3, -1, -1, 0}
 	for i, id := range ids {
@@ -233,13 +239,13 @@ func TestFrameReaderSequence(t *testing.T) {
 func TestDecodeCountMismatch(t *testing.T) {
 	// Decide declaring 65535 ops with a near-empty body.
 	body := []byte{0xff, 0xff, 1, 2, 3}
-	if _, err := DecodeDecide(body, MaxBatch, nil); err == nil {
+	if _, _, err := DecodeDecide(body, MaxBatch, nil); err == nil {
 		t.Fatal("mismatched decide accepted")
 	}
 	if _, _, err := DecodeTable(body, 3, MaxBatch, nil, nil); err == nil {
 		t.Fatal("mismatched table accepted")
 	}
-	if _, err := DecodeDecided(body, MaxBatch, nil); err == nil {
+	if _, _, err := DecodeDecided(body, MaxBatch, nil); err == nil {
 		t.Fatal("mismatched decided accepted")
 	}
 	if _, err := DecodeTableAck(body, MaxBatch, nil); err == nil {
@@ -253,7 +259,107 @@ func TestDecodeCountMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := DecodeDecide(b, MaxBatch, nil); err == nil {
+	if _, _, err := DecodeDecide(b, MaxBatch, nil); err == nil {
 		t.Fatal("over-cap decide accepted")
+	}
+}
+
+func TestWireTracedDecideRoundTrip(t *testing.T) {
+	keys := []uint64{1, 2, 3}
+	outs := []uint16{0, 1, 0}
+	const traceID = uint64(0xfeedfacecafebeef)
+	frame := AppendDecideTrace(nil, 11, keys, outs, traceID)
+	op, seq, body := readOne(t, frame)
+	if op != OpDecide || seq != 11 {
+		t.Fatalf("op=%#x seq=%d", op, seq)
+	}
+	pkts, gotID, err := DecodeDecide(body, MaxBatch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotID != traceID {
+		t.Fatalf("trace id = %#x, want %#x", gotID, traceID)
+	}
+	if len(pkts) != len(keys) {
+		t.Fatalf("decoded %d pkts, want %d", len(pkts), len(keys))
+	}
+	for i := range pkts {
+		if pkts[i].Key != keys[i] || pkts[i].Out != int(outs[i]) || pkts[i].ID != -1 || pkts[i].OK {
+			t.Fatalf("pkt %d = %+v", i, pkts[i])
+		}
+	}
+	// A traced body with a zero trace ID is malformed, not silently untraced.
+	zero := AppendDecideTrace(nil, 12, keys, outs, 0)
+	_, _, zbody := readOne(t, zero)
+	if _, _, err := DecodeDecide(zbody, MaxBatch, nil); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("zero trace id err = %v, want ErrMalformed", err)
+	}
+	// Truncated trace trailer must fail, not decode as untraced.
+	if _, _, err := DecodeDecide(body[:len(body)-3], MaxBatch, nil); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("truncated trailer err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestWireTracedDecidedRoundTrip(t *testing.T) {
+	pkts := []engine.Packet{{ID: 5, OK: true}, {ID: 0, OK: false}}
+	want := DecideTrace{ID: 77, RecvNs: 100, AdmitNs: 150, StartNs: 200, DoneNs: 900}
+	frame := AppendDecidedTrace(nil, 13, pkts, want)
+	op, seq, body := readOne(t, frame)
+	if op != OpDecided || seq != 13 {
+		t.Fatalf("op=%#x seq=%d", op, seq)
+	}
+	ids, got, err := DecodeDecided(body, MaxBatch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("trace = %+v, want %+v", got, want)
+	}
+	if len(ids) != 2 || ids[0] != 5 || ids[1] != -1 {
+		t.Fatalf("ids = %v", ids)
+	}
+	// Truncated trailer.
+	if _, _, err := DecodeDecided(body[:len(body)-1], MaxBatch, nil); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("truncated trailer err = %v, want ErrMalformed", err)
+	}
+}
+
+// TestWireTracedUntracedCompat: the untraced encoders must stay
+// byte-identical to protocol v1 so old peers interoperate, and the count
+// word's flag bit must never be reachable from a legal batch size.
+func TestWireTracedUntracedCompat(t *testing.T) {
+	keys := []uint64{9}
+	outs := []uint16{3}
+	plain := AppendDecide(nil, 1, keys, outs)
+	traced := AppendDecideTrace(nil, 1, keys, outs, 42)
+	if len(traced) != len(plain)+8 {
+		t.Fatalf("traced decide adds %d bytes, want 8", len(traced)-len(plain))
+	}
+	// The shared prefix differs only in the flag bit of the count word.
+	if plain[4+headerLen]|0x00 != traced[4+headerLen] || plain[5+headerLen]|0x80 != traced[5+headerLen] {
+		t.Fatalf("count words: plain %x%x traced %x%x", plain[4+headerLen], plain[5+headerLen], traced[4+headerLen], traced[5+headerLen])
+	}
+	if MaxBatch&TraceFlag != 0 {
+		t.Fatal("TraceFlag collides with a legal batch count")
+	}
+}
+
+func TestWirePongRoundTrip(t *testing.T) {
+	info := PongInfo{UptimeNs: 123456789, Build: "go1.22 thanosd test"}
+	op, seq, body := readOne(t, AppendPong(nil, 21, info))
+	if op != OpPong || seq != 21 {
+		t.Fatalf("op=%#x seq=%d", op, seq)
+	}
+	got, err := DecodePong(body)
+	if err != nil || got != info {
+		t.Fatalf("pong -> %+v err=%v, want %+v", got, err, info)
+	}
+	// v1 compatibility: an empty Pong body decodes to the zero PongInfo.
+	if got, err := DecodePong(nil); err != nil || got != (PongInfo{}) {
+		t.Fatalf("empty pong -> %+v err=%v", got, err)
+	}
+	// A non-empty body below the uptime word is malformed.
+	if _, err := DecodePong([]byte{1, 2, 3}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("short pong err = %v, want ErrMalformed", err)
 	}
 }

@@ -25,6 +25,11 @@ type Histogram struct {
 	buckets [NumBuckets]atomic.Uint64
 	count   atomic.Uint64
 	sum     atomic.Uint64
+	// exemplars[i] holds the trace ID of the most recent traced observation
+	// that landed in bucket i (0 = none yet). Plain atomic stores: the
+	// newest exemplar wins, which is exactly the "link a tail bucket to a
+	// live timeline" use case.
+	exemplars [NumBuckets]atomic.Uint64
 }
 
 // Observe records v.
@@ -35,6 +40,32 @@ func (h *Histogram) Observe(v uint64) {
 	h.buckets[bits.Len64(v)].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
+}
+
+// ObserveExemplar records v and, when traceID is non-zero, remembers it as
+// the bucket's exemplar so a percentile estimate can be linked back to one
+// sampled request's full cross-layer timeline. Same cost class as Observe:
+// atomics only, no allocation, nil-safe.
+func (h *Histogram) ObserveExemplar(v, traceID uint64) {
+	if h == nil {
+		return
+	}
+	b := bits.Len64(v)
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	if traceID != 0 {
+		h.exemplars[b].Store(traceID)
+	}
+}
+
+// Exemplar returns the most recent trace ID observed into bucket i, or 0
+// when the bucket has no traced observation.
+func (h *Histogram) Exemplar(i int) uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.exemplars[i].Load()
 }
 
 // Count returns the total number of observations.

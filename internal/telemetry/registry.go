@@ -208,9 +208,10 @@ func writeHistogram(w io.Writer, name string, h *Histogram) error {
 
 // HistogramSnapshot is the JSON-friendly view of a histogram.
 type HistogramSnapshot struct {
-	Count   uint64            `json:"count"`
-	Sum     uint64            `json:"sum"`
-	Buckets map[string]uint64 `json:"buckets,omitempty"` // le bound -> non-cumulative count
+	Count     uint64            `json:"count"`
+	Sum       uint64            `json:"sum"`
+	Buckets   map[string]uint64 `json:"buckets,omitempty"`   // le bound -> non-cumulative count
+	Exemplars map[string]uint64 `json:"exemplars,omitempty"` // le bound -> most recent trace ID
 }
 
 // Snapshot returns all metric values keyed by name, suitable for JSON or
@@ -232,15 +233,23 @@ func (r *Registry) Snapshot() map[string]any {
 		case kindHistogram:
 			hs := HistogramSnapshot{Count: m.hist.Count(), Sum: m.hist.Sum()}
 			for i := 0; i < NumBuckets; i++ {
-				if n := m.hist.Bucket(i); n != 0 {
-					if hs.Buckets == nil {
-						hs.Buckets = make(map[string]uint64)
+				n := m.hist.Bucket(i)
+				if n == 0 {
+					continue
+				}
+				if hs.Buckets == nil {
+					hs.Buckets = make(map[string]uint64)
+				}
+				le := "+Inf"
+				if i < 64 {
+					le = strconv.FormatUint(BucketBound(i), 10)
+				}
+				hs.Buckets[le] = n
+				if ex := m.hist.Exemplar(i); ex != 0 {
+					if hs.Exemplars == nil {
+						hs.Exemplars = make(map[string]uint64)
 					}
-					le := "+Inf"
-					if i < 64 {
-						le = strconv.FormatUint(BucketBound(i), 10)
-					}
-					hs.Buckets[le] = n
+					hs.Exemplars[le] = ex
 				}
 			}
 			out[m.name] = hs
