@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test bench check check-debug check-fault check-lint2 check-obs check-perf check-race-depth check-server experiments fuzz-smoke overhead-smoke metrics-demo load-smoke
+.PHONY: build test bench check check-debug check-fault check-lint2 check-obs check-perf check-psim check-race-depth check-server experiments fuzz-smoke overhead-smoke metrics-demo load-smoke
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,17 @@ check-fault:
 	$(GO) test -race -count=1 \
 		-run 'Fault|Failure|Quarantine|Resync|Replica|ControlUpdater|ClusterRun|RTO|PortSetDown|EngineClose' \
 		./internal/engine/ ./internal/smbm/ ./internal/netsim/ ./internal/experiments/ ./internal/lb/
+
+# check-psim is the parallel-simulation gate: the event-kernel suite plus
+# the serial-vs-parallel identity tests (clean and fault-injected fat
+# trees, sticky Stop semantics, flow-API validation) under the race
+# detector at both scheduler depths — GOMAXPROCS=1 forces cooperative
+# interleavings of the LP goroutines (a missing shutdown or barrier edge
+# hangs visibly), GOMAXPROCS=4 maximizes true parallelism. Bit-identity of
+# the parallel driver must hold at both settings.
+check-psim:
+	GOMAXPROCS=1 $(GO) test -race -count=1 -short ./internal/sim/ ./internal/netsim/
+	GOMAXPROCS=4 $(GO) test -race -count=1 -short ./internal/sim/ ./internal/netsim/
 
 # check-perf is the performance-regression gate: it runs the pinned
 # benchmark set (internal/perfcheck) and compares against the newest

@@ -41,6 +41,9 @@ func main() {
 	spines := flag.Int("spines", 3, "spine switches (clos only)")
 	hostsPerLeaf := flag.Int("hosts", 6, "hosts per leaf (clos only)")
 	pol := flag.String("policy", "ecmp", "policy: ecmp | minutil | multidim | minq | drill")
+	parallel := flag.Bool("parallel", false, "run the conservative-lookahead parallel driver (fattree only)")
+	lps := flag.Int("lps", 0, "logical processes for -parallel (0 = one per pod plus a core LP)")
+	coreDelay := flag.Duration("core-delay", 0, "agg-core link propagation delay override (fattree; also the -parallel lookahead window)")
 	load := flag.Float64("load", 0.8, "offered load in (0,1]")
 	flows := flag.Int("flows", 400, "number of flows")
 	scale := flag.Float64("scale", 0.5, "flow size scale vs web-search distribution")
@@ -85,10 +88,18 @@ func main() {
 		os.Exit(1)
 	}
 
-	if err := run(*topo, *kAry, *leaves, *spines, *hostsPerLeaf, *pol, *load, *flows, *scale, *seed, *d, *m, *metrics, *hold, failCfg); err != nil {
+	pcfg := parallelConfig{enabled: *parallel, lps: *lps, coreDelay: sim.Time(coreDelay.Nanoseconds())}
+	if err := run(*topo, *kAry, *leaves, *spines, *hostsPerLeaf, *pol, *load, *flows, *scale, *seed, *d, *m, *metrics, *hold, failCfg, pcfg); err != nil {
 		fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// parallelConfig carries the -parallel/-lps/-core-delay flags.
+type parallelConfig struct {
+	enabled   bool
+	lps       int
+	coreDelay sim.Time
 }
 
 // serveMetrics binds addr synchronously (so a bad address fails the run
@@ -114,7 +125,19 @@ var pprofEnabled bool
 
 func run(topo string, kAry, leaves, spines, hostsPerLeaf int, pol string,
 	load float64, flows int, scale float64, seed int64, d, m int,
-	metricsAddr string, hold time.Duration, failCfg *experiments.FailureConfig) error {
+	metricsAddr string, hold time.Duration, failCfg *experiments.FailureConfig,
+	pcfg parallelConfig) error {
+
+	if pcfg.enabled {
+		switch {
+		case topo != "fattree":
+			return fmt.Errorf("-parallel needs -topo fattree (pod-aware partitions)")
+		case metricsAddr != "":
+			return fmt.Errorf("-parallel cannot serve -metrics: scrape-time gauges read live state, which is only safe on the serial driver")
+		case failCfg != nil:
+			return fmt.Errorf("-parallel does not support -fail scenarios (they need -topo clos anyway)")
+		}
+	}
 
 	cfg := experiments.DefaultNetConfig(seed)
 	cfg.Leaves, cfg.Spines, cfg.HostsPerLeaf = leaves, spines, hostsPerLeaf
@@ -143,6 +166,7 @@ func run(topo string, kAry, leaves, spines, hostsPerLeaf int, pol string,
 	}
 
 	var net *netsim.Network
+	var par *netsim.Parallel
 	var probe *experiments.FailureProbe
 	var err error
 	switch {
@@ -150,9 +174,25 @@ func run(topo string, kAry, leaves, spines, hostsPerLeaf int, pol string,
 		if pol != "ecmp" {
 			return fmt.Errorf("fat tree currently runs ECMP only")
 		}
-		net, err = buildFatTree(seed, kAry)
+		var ft *topology.FatTree
+		net, ft, err = buildFatTree(seed, kAry, pcfg.coreDelay)
 		if err != nil {
 			return err
+		}
+		if pcfg.enabled {
+			nLPs := pcfg.lps
+			if nLPs == 0 {
+				nLPs = kAry + 1 // one LP per pod plus the core LP
+			}
+			pt, err := ft.Partition(nLPs)
+			if err != nil {
+				return err
+			}
+			if par, err = netsim.NewParallel(net, pt); err != nil {
+				return err
+			}
+			defer par.Close()
+			fmt.Printf("parallel: %d LPs, lookahead window %v\n", nLPs, par.Window())
 		}
 		cfg.Leaves = kAry // hosts calculation below uses cfg fields
 		cfg.HostsPerLeaf = kAry * kAry / 4
@@ -200,18 +240,30 @@ func run(topo string, kAry, leaves, spines, hostsPerLeaf int, pol string,
 		if size < 1 {
 			size = 1
 		}
-		net.StartFlow(src, dst, size, at)
+		if _, err := net.StartFlow(src, dst, size, at); err != nil {
+			return fmt.Errorf("starting flow %d: %w", i, err)
+		}
 		at += sim.Time(pa.NextGapSec(r) * float64(sim.Second))
 	}
 
-	deadline := sim.Time(0)
-	for net.ActiveFlows() > 0 {
-		deadline += 100 * sim.Millisecond
-		net.Sched.RunUntil(deadline)
-		if deadline > 100*sim.Second {
-			return fmt.Errorf("flows did not complete (%d left)", net.ActiveFlows())
+	start := time.Now()
+	simEnd := sim.Time(0)
+	if par != nil {
+		if simEnd, err = par.RunUntilDone(100 * sim.Second); err != nil {
+			return err
 		}
+	} else {
+		deadline := sim.Time(0)
+		for net.ActiveFlows() > 0 {
+			deadline += 100 * sim.Millisecond
+			net.Sched.RunUntil(deadline)
+			if deadline > 100*sim.Second {
+				return fmt.Errorf("flows did not complete (%d left)", net.ActiveFlows())
+			}
+		}
+		simEnd = net.Sched.Now()
 	}
+	elapsed := time.Since(start)
 
 	var fct stats.Sample
 	var bytes int64
@@ -229,7 +281,7 @@ func run(topo string, kAry, leaves, spines, hostsPerLeaf int, pol string,
 			drops += sw.Port(p).Drops()
 		}
 	}
-	fmt.Printf("switch drops: %d, simulated time: %v\n", drops, net.Sched.Now())
+	fmt.Printf("switch drops: %d, simulated time: %v, wall clock: %v\n", drops, simEnd, elapsed.Round(time.Millisecond))
 	if probe != nil {
 		c := probe.Injector.Counts()
 		fmt.Printf("faults: injected %d, recovered %d, fault drops %d, reroutes %d\n",
@@ -245,13 +297,17 @@ func run(topo string, kAry, leaves, spines, hostsPerLeaf int, pol string,
 	return nil
 }
 
-func buildFatTree(seed int64, k int) (*netsim.Network, error) {
+func buildFatTree(seed int64, k int, coreDelay sim.Time) (*netsim.Network, *topology.FatTree, error) {
 	net, err := netsim.New(seed, netsim.DefaultConfig())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if _, err := topology.NewFatTree(net, k); err != nil {
-		return nil, err
+	ft, err := topology.NewFatTree(net, k)
+	if err != nil {
+		return nil, nil, err
 	}
-	return net, nil
+	if coreDelay > 0 {
+		ft.SetCorePropDelay(coreDelay)
+	}
+	return net, ft, nil
 }

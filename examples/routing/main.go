@@ -47,7 +47,7 @@ func main() {
 }
 
 func offer(cfg experiments.NetConfig, net interface {
-	StartFlow(src, dst int, bytes int64, at sim.Time) int64
+	StartFlow(src, dst int, bytes int64, at sim.Time) (int64, error)
 }) error {
 	// Deterministic all-to-all mix: every host sends to a rotating set of
 	// peers so both policies see identical traffic.
@@ -60,7 +60,9 @@ func offer(cfg experiments.NetConfig, net interface {
 			dst = (dst + 1) % hosts
 		}
 		size := int64(15000 + 40000*(i%7))
-		net.StartFlow(src, dst, size, at)
+		if _, err := net.StartFlow(src, dst, size, at); err != nil {
+			return err
+		}
 		at += 40 * sim.Microsecond
 	}
 	return nil

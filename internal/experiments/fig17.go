@@ -321,7 +321,11 @@ func offerTraffic(cfg NetConfig, net *netsim.Network, load float64) ([]int64, er
 		if size < 1 {
 			size = 1
 		}
-		ids = append(ids, net.StartFlow(src, dst, size, at))
+		id, err := net.StartFlow(src, dst, size, at)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: offered flow %d rejected: %w", i, err)
+		}
+		ids = append(ids, id)
 		at += sim.Time(pa.NextGapSec(r) * float64(sim.Second))
 	}
 	return ids, nil

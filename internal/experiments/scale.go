@@ -1,0 +1,210 @@
+package experiments
+
+// Scale sweep for the parallel netsim driver (ROADMAP "scale netsim
+// 10–100×"): run the same fat-tree workload under the serial scheduler and
+// the conservative-lookahead parallel driver, verify the two produce
+// bit-identical flow records, and report wall-clock for the EXPERIMENTS.md
+// table. Wall-clock measurement is inherently nondeterministic, so the
+// timing functions carry //thanos:wallclock escapes; everything the
+// simulation itself computes stays seed-deterministic.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/netsim/topology"
+	"repro/internal/sim"
+)
+
+// ScaleConfig shapes one scale-sweep point.
+type ScaleConfig struct {
+	K         int      // fat-tree arity
+	Flows     int      // flows offered from the network seed
+	MaxBytes  int64    // flow sizes are uniform in [MTU, MaxBytes]
+	Seed      int64    // network seed
+	LPs       int      // logical processes (0 = one per pod + core LP)
+	CoreDelay sim.Time // agg-core propagation delay = lookahead window (0 = config default)
+	Serial    bool     // also run (and time) the serial driver for comparison
+}
+
+// ScaleResult is one row of the scale-sweep table.
+type ScaleResult struct {
+	K, Hosts, Flows    int
+	LPs                int
+	Window             sim.Time      // lookahead window
+	SimTime            sim.Time      // simulated completion time
+	SerialWall         time.Duration // zero when cfg.Serial is false
+	ParallelWall       time.Duration
+	Speedup            float64 // SerialWall / ParallelWall; 0 when serial skipped
+	Identical          bool    // parallel records bit-identical to serial
+	SerialChecked      bool
+	CompletedFlows     int
+	ParallelEventsHint int // flows * hosts, a rough size indicator for the table
+}
+
+// buildScaleNet builds a fat tree and offers the workload pre-run.
+func buildScaleNet(cfg ScaleConfig) (*netsim.Network, *topology.FatTree, error) {
+	net, err := netsim.New(cfg.Seed, netsim.DefaultConfig())
+	if err != nil {
+		return nil, nil, err
+	}
+	ft, err := topology.NewFatTree(net, cfg.K)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cfg.CoreDelay > 0 {
+		ft.SetCorePropDelay(cfg.CoreDelay)
+	}
+	return net, ft, nil
+}
+
+func offerScaleTraffic(net *netsim.Network, cfg ScaleConfig) error {
+	r := net.Sched.Rand()
+	hosts := len(net.Hosts)
+	mtu := int64(net.Config().MTU)
+	maxBytes := cfg.MaxBytes
+	if maxBytes < mtu {
+		maxBytes = 64 * mtu
+	}
+	at := sim.Time(0)
+	for i := 0; i < cfg.Flows; i++ {
+		src, dst := r.Intn(hosts), r.Intn(hosts)
+		for dst == src {
+			dst = r.Intn(hosts)
+		}
+		size := mtu + r.Int63n(maxBytes-mtu+1)
+		if _, err := net.StartFlow(src, dst, size, at); err != nil {
+			return err
+		}
+		at += sim.Time(r.Intn(10)) * sim.Microsecond
+	}
+	return nil
+}
+
+// runScaleSerial drives the serial copy to completion and returns
+// (records, wall-clock).
+//
+//thanos:wallclock wall-clock timing is the measurement, not simulation state
+func runScaleSerial(cfg ScaleConfig) ([]netsim.FlowRecord, time.Duration, error) {
+	net, _, err := buildScaleNet(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := offerScaleTraffic(net, cfg); err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	deadline := sim.Time(0)
+	for net.ActiveFlows() > 0 {
+		deadline += 100 * sim.Millisecond
+		net.Sched.RunUntil(deadline)
+		if deadline > 100*sim.Second {
+			return nil, 0, fmt.Errorf("experiments: serial scale run stuck (%d flows left)", net.ActiveFlows())
+		}
+	}
+	return net.Records(), time.Since(start), nil
+}
+
+// runScaleParallel drives the parallel copy to completion and returns
+// (records, wall-clock, lookahead window, simulated end).
+//
+//thanos:wallclock wall-clock timing is the measurement, not simulation state
+func runScaleParallel(cfg ScaleConfig) ([]netsim.FlowRecord, time.Duration, sim.Time, sim.Time, error) {
+	net, ft, err := buildScaleNet(cfg)
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	lps := cfg.LPs
+	if lps == 0 {
+		lps = cfg.K + 1
+	}
+	pt, err := ft.Partition(lps)
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	par, err := netsim.NewParallel(net, pt)
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	defer par.Close()
+	if err := offerScaleTraffic(net, cfg); err != nil {
+		return nil, 0, 0, 0, err
+	}
+	start := time.Now()
+	end, err := par.RunUntilDone(100 * sim.Second)
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	return net.Records(), time.Since(start), par.Window(), end, nil
+}
+
+// RunScalePoint measures one sweep point: the parallel run always, plus
+// the serial baseline and record-identity check when cfg.Serial is set.
+func RunScalePoint(cfg ScaleConfig) (ScaleResult, error) {
+	res := ScaleResult{K: cfg.K, Flows: cfg.Flows}
+	if cfg.LPs == 0 {
+		res.LPs = cfg.K + 1
+	} else {
+		res.LPs = cfg.LPs
+	}
+
+	precs, pwall, window, end, err := runScaleParallel(cfg)
+	if err != nil {
+		return res, err
+	}
+	res.Hosts = cfg.K * cfg.K * cfg.K / 4
+	res.ParallelWall = pwall
+	res.Window = window
+	res.SimTime = end
+	res.CompletedFlows = len(precs)
+	res.ParallelEventsHint = cfg.Flows * res.Hosts
+
+	if cfg.Serial {
+		srecs, swall, err := runScaleSerial(cfg)
+		if err != nil {
+			return res, err
+		}
+		res.SerialWall = swall
+		res.SerialChecked = true
+		res.Identical = recordsEqual(srecs, precs)
+		if !res.Identical {
+			return res, fmt.Errorf("experiments: scale point k=%d diverged between drivers", cfg.K)
+		}
+		if pwall > 0 {
+			res.Speedup = float64(swall) / float64(pwall)
+		}
+	}
+	return res, nil
+}
+
+func recordsEqual(a, b []netsim.FlowRecord) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatScaleTable renders sweep rows as the markdown table EXPERIMENTS.md
+// embeds.
+func FormatScaleTable(rows []ScaleResult) string {
+	out := "| k | hosts | flows | LPs | window | sim time | serial wall | parallel wall | speedup | identical |\n"
+	out += "|---|-------|-------|-----|--------|----------|-------------|---------------|---------|-----------|\n"
+	for _, r := range rows {
+		serial, speedup, ident := "—", "—", "—"
+		if r.SerialChecked {
+			serial = r.SerialWall.Round(time.Millisecond).String()
+			speedup = fmt.Sprintf("%.2fx", r.Speedup)
+			ident = fmt.Sprintf("%v", r.Identical)
+		}
+		out += fmt.Sprintf("| %d | %d | %d | %d | %v | %v | %s | %s | %s | %s |\n",
+			r.K, r.Hosts, r.Flows, r.LPs, r.Window, r.SimTime.String(),
+			serial, r.ParallelWall.Round(time.Millisecond), speedup, ident)
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRunScalePointSmall(t *testing.T) {
+	res, err := RunScalePoint(ScaleConfig{
+		K: 4, Flows: 40, Seed: 11, CoreDelay: 10 * sim.Microsecond, Serial: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hosts != 16 {
+		t.Fatalf("k=4 hosts = %d, want 16", res.Hosts)
+	}
+	if res.LPs != 5 {
+		t.Fatalf("LPs = %d, want 5", res.LPs)
+	}
+	if res.Window != 10*sim.Microsecond {
+		t.Fatalf("window = %v, want 10µs", res.Window)
+	}
+	if res.CompletedFlows != 40 {
+		t.Fatalf("completed %d/40 flows", res.CompletedFlows)
+	}
+	if !res.Identical {
+		t.Fatal("serial and parallel records diverged")
+	}
+	if res.ParallelWall <= 0 || res.SerialWall <= 0 {
+		t.Fatalf("wall clocks not measured: serial %v parallel %v", res.SerialWall, res.ParallelWall)
+	}
+}
+
+func TestRunScalePointParallelOnly(t *testing.T) {
+	res, err := RunScalePoint(ScaleConfig{K: 4, Flows: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SerialChecked {
+		t.Fatal("serial baseline ran without being requested")
+	}
+	if res.CompletedFlows != 20 {
+		t.Fatalf("completed %d/20 flows", res.CompletedFlows)
+	}
+}
+
+// TestScaleSweepTable regenerates the EXPERIMENTS.md scale table. It is the
+// long-running measurement, so it only runs when THANOS_SCALE_SWEEP=1:
+//
+//	THANOS_SCALE_SWEEP=1 go test -run ScaleSweepTable -v -timeout 30m ./internal/experiments/
+func TestScaleSweepTable(t *testing.T) {
+	if os.Getenv("THANOS_SCALE_SWEEP") != "1" {
+		t.Skip("set THANOS_SCALE_SWEEP=1 to run the scale sweep")
+	}
+	points := []ScaleConfig{
+		{K: 4, Flows: 200, Seed: 42, CoreDelay: 10 * sim.Microsecond, Serial: true},
+		{K: 8, Flows: 4000, Seed: 42, CoreDelay: 10 * sim.Microsecond, Serial: true},
+		{K: 16, Flows: 2000, Seed: 42, CoreDelay: 10 * sim.Microsecond},
+	}
+	var rows []ScaleResult
+	for _, cfg := range points {
+		res, err := RunScalePoint(cfg)
+		if err != nil {
+			t.Fatalf("k=%d: %v", cfg.K, err)
+		}
+		t.Logf("k=%d done: serial %v parallel %v", res.K, res.SerialWall, res.ParallelWall)
+		rows = append(rows, res)
+	}
+	t.Logf("scale table:\n%s", FormatScaleTable(rows))
+}
+
+func TestFormatScaleTable(t *testing.T) {
+	rows := []ScaleResult{{
+		K: 8, Hosts: 128, Flows: 4000, LPs: 9, Window: 10 * sim.Microsecond,
+		SimTime: 2 * sim.Second, SerialChecked: true, Identical: true, Speedup: 1.12,
+	}}
+	out := FormatScaleTable(rows)
+	for _, want := range []string{"| k |", "| 8 | 128 | 4000 | 9 |", "1.12x", "true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

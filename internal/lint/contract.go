@@ -34,6 +34,8 @@ func DefaultConfig() Config {
 			"repro/internal/engine",
 			"repro/internal/experiments",
 			"repro/internal/fault",
+			"repro/internal/netsim",
+			"repro/internal/netsim/topology",
 			"repro/internal/smbm",
 			"repro/internal/filter",
 			"repro/internal/pipeline",
@@ -56,10 +58,11 @@ func DefaultConfig() Config {
 			},
 		},
 		Goroutine: GoroutineConfig{
-			Pkgs: []string{"repro/internal/engine", "repro/internal/server"},
+			Pkgs: []string{"repro/internal/engine", "repro/internal/server", "repro/internal/netsim"},
 			// The teardown entry points whose drain paths prove shutdown
-			// edges: Engine.Close, Server.Close, conn.shutdown, and the
-			// client's Close/teardown pair.
+			// edges: Engine.Close, Server.Close, conn.shutdown, the
+			// client's Close/teardown pair, and Parallel.Close (which
+			// closes quit to stop every LP loop).
 			Roots: []string{"Close", "Stop", "shutdown", "teardown"},
 		},
 		Locks: LockConfig{

@@ -1,0 +1,71 @@
+package netsim
+
+// Driver-agnostic fault arming. The legacy fault.Injector path calls
+// SetLinkDown/SetFailed from callbacks on Network.Sched, which mutate peer
+// ports directly — fine serially, but a causality violation under the
+// parallel driver, where the two ends of a link live in different logical
+// processes. The Arm* functions below expand each fault into one keyed
+// event per affected side, scheduled on that side's own scheduler, so each
+// LP flips only its local state. The fault priority classes sort before
+// every same-instant traffic event (see pri.go), which makes the
+// multi-side flip observably atomic: a packet arriving at the exact fault
+// instant sees the post-fault state on every side, in both drivers.
+//
+// Arm calls must happen before the run (or between windows) and in
+// identical program order in serial and parallel runs — that is what makes
+// the expansion part of the bit-identity contract rather than a
+// perturbation of it.
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// ArmLink schedules the duplex link at port p to go down (true) or come
+// back up (false) at time at, one keyed event per side. Semantics per side
+// match Port.SetDown: going down drops the queue, the packet already on
+// the wire still delivers.
+func (n *Network) ArmLink(p *Port, down bool, at sim.Time) {
+	if p == nil {
+		panic("netsim: ArmLink on nil port")
+	}
+	for _, side := range []*Port{p, p.peer} {
+		if side == nil {
+			continue
+		}
+		side := side
+		side.sched.AtPri(at, key(priFaultLink, side.gid), func() { side.SetDown(down) })
+	}
+}
+
+// ArmSwitchFail schedules switch sw to fail (true) or recover (false) at
+// time at: the blackhole flag flips on the switch's own scheduler, and
+// every attached link is armed down/up per side. Like Switch.SetFailed,
+// recovery restores all links; re-arm any independently-failed link
+// afterwards.
+func (n *Network) ArmSwitchFail(sw *Switch, failed bool, at sim.Time) {
+	sw.sched.AtPri(at, key(priFaultSwitch, sw.id), func() { sw.setFailedFlag(failed) })
+	for _, p := range sw.ports {
+		if p.peer != nil {
+			n.ArmLink(p, failed, at)
+		}
+	}
+}
+
+// ArmControl schedules a control-plane update (candidate-set change, route
+// withdrawal, policy push) to run at time at on sw's scheduler, keyed by a
+// network-global arming sequence number so simultaneous updates execute in
+// arming order in both drivers. fn must touch only sw's state. Lossy or
+// delayed control planes are modelled by the caller pre-computing which
+// updates are dropped/delayed (with its own RNG) and arming only the
+// survivors — randomness drawn at delivery time would diverge between
+// drivers.
+func (n *Network) ArmControl(sw *Switch, at sim.Time, fn func()) error {
+	if sw == nil {
+		return fmt.Errorf("netsim: ArmControl on nil switch")
+	}
+	n.ctlSeq++
+	sw.sched.AtPri(at, key(priCtl, int(n.ctlSeq)), fn)
+	return nil
+}

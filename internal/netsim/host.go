@@ -16,6 +16,11 @@ type Host struct {
 	id  int
 	nic *Port
 
+	// sched is where this host's events (flow starts, RTO timers) run:
+	// Network.Sched serially, the owning LP's scheduler in parallel.
+	sched *sim.Scheduler
+	lp    *lp // owning logical process; nil in the serial driver
+
 	senders   map[int64]*senderState
 	receivers map[int64]*receiverState
 
@@ -58,6 +63,7 @@ func newHost(n *Network, id int) *Host {
 	return &Host{
 		net:       n,
 		id:        id,
+		sched:     n.Sched,
 		senders:   make(map[int64]*senderState),
 		receivers: make(map[int64]*receiverState),
 	}
@@ -132,7 +138,7 @@ func (h *Host) sendData(st *senderState, seq int) {
 func (h *Host) armTimer(st *senderState) {
 	st.timerGen++
 	gen := st.timerGen
-	h.net.Sched.After(h.net.cfg.RTO, func() {
+	h.sched.AfterPri(h.net.cfg.RTO, key(priTimer, int(st.flowID)), func() {
 		cur, ok := h.senders[st.flowID]
 		if !ok || cur.timerGen != gen {
 			return // completed or superseded
@@ -193,9 +199,9 @@ func (h *Host) handleAck(pkt *Packet) {
 		}
 		if st.cumAck >= st.totalPkts {
 			delete(h.senders, pkt.FlowID)
-			h.net.flowDone(FlowRecord{
+			h.net.flowDone(h, FlowRecord{
 				FlowID: st.flowID, Src: h.id, Dst: st.dst,
-				Bytes: st.bytes, Start: st.start, End: h.net.Sched.Now(),
+				Bytes: st.bytes, Start: st.start, End: h.sched.Now(),
 			})
 			return
 		}

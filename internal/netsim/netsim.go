@@ -90,18 +90,29 @@ type Port struct {
 	net   *Network
 	owner Node
 	index int // port index within owner
+	gid   int // network-global port id; keys delivery/txfree event priorities
 
-	peer     *Port
-	peerPort int
+	// sched is where this port's events run: Network.Sched in the serial
+	// driver, the owning logical process's scheduler in the parallel one.
+	// Routing every continuation through the port's own scheduler (never
+	// Network.Sched directly) is what lets the parallel driver rehome
+	// entities without leaving events on a stale scheduler.
+	sched *sim.Scheduler
+	lp    *lp // owning logical process; nil in the serial driver
 
-	queue      []*Packet
-	busy       bool
-	down       bool // link fault: transmitter refuses traffic
-	sentBytes  uint64
-	sentPkts   uint64
-	dropPkts   uint64
-	faultPkts  uint64 // packets dropped because the link was down
-	totalQueue uint64 // for mean-occupancy accounting
+	peer      *Port
+	peerPort  int
+	propDelay sim.Time // one-way propagation latency of this direction
+	mbox      *mailbox // cross-LP handoff for deliveries; nil when peer is local
+
+	queue     []*Packet
+	busy      bool
+	down      bool // link fault: transmitter refuses traffic
+	sentBytes uint64
+	sentPkts  uint64
+	recvPkts  uint64 // packets delivered to this port's owner
+	dropPkts  uint64
+	faultPkts uint64 // packets dropped because the link was down
 
 	// Metric snapshots refreshed by the owner switch.
 	utilEWMA float64
@@ -126,6 +137,23 @@ func (p *Port) QueueLen() int {
 
 // Drops returns the cumulative packets dropped at this port.
 func (p *Port) Drops() uint64 { return p.dropPkts }
+
+// Sent returns the cumulative packets transmitted by this port.
+func (p *Port) Sent() uint64 { return p.sentPkts }
+
+// Recvs returns the cumulative packets delivered to this port's owner.
+// Every transmitted packet delivers (drops happen before transmission
+// starts, and an in-flight packet survives link faults), so at quiescence
+// p.Sent() == p.Peer().Recvs() for every connected port — the conservation
+// invariant the fault-interleaving tests check.
+func (p *Port) Recvs() uint64 { return p.recvPkts }
+
+// Peer returns the other end of the link, or nil if unconnected.
+func (p *Port) Peer() *Port { return p.peer }
+
+// GID returns the network-global port id (assignment order: switch ports
+// in switch-id/port-index order, then host NICs in Connect order).
+func (p *Port) GID() int { return p.gid }
 
 // FaultDrops returns the packets dropped because the link was down, a
 // subset of Drops.
@@ -218,12 +246,29 @@ func (p *Port) transmitNext() {
 	}
 	p.sentBytes += uint64(pkt.Bytes)
 	p.sentPkts++
-	peer, peerPort := p.peer, p.peerPort
-	p.net.Sched.After(serialization, func() {
+	p.sched.AfterPri(serialization, key(priTxFree, p.gid), func() {
 		p.transmitNext() // transmitter free for the next packet
-		p.net.Sched.After(p.net.cfg.PropDelay, func() {
-			peer.owner.Receive(pkt, peerPort)
-		})
+		p.deliver(pkt)   // the packet is on the wire and will arrive
+	})
+}
+
+// deliver hands a fully-serialized packet to the far end after this
+// direction's propagation delay. A same-LP (or serial) peer gets a keyed
+// event on its own scheduler; a cross-LP peer goes through the link's
+// ordered mailbox and is scheduled by the receiving LP at the next window
+// barrier — legal because the barrier window never exceeds the smallest
+// inter-LP propagation delay, so the arrival time is never in the
+// receiver's past.
+func (p *Port) deliver(pkt *Packet) {
+	peer, peerPort := p.peer, p.peerPort
+	arrival := p.sched.Now() + p.propDelay
+	if p.mbox != nil {
+		p.mbox.pending = append(p.mbox.pending, arrivalEvent{pkt: pkt, at: arrival})
+		return
+	}
+	peer.sched.AtPri(arrival, key(priRecv, peer.gid), func() {
+		peer.recvPkts++
+		peer.owner.Receive(pkt, peerPort)
 	})
 }
 
@@ -262,9 +307,17 @@ type Network struct {
 	Hosts    []*Host
 	Switches []*Switch
 
+	seed       int64
+	nextGID    int // next network-global port id
 	nextFlowID int64
+	ctlSeq     uint64 // arming sequence for keyed control-plane events
 	active     int
 	fcts       []FlowRecord
+
+	// par is non-nil once NewParallel has taken over the network; flow
+	// bookkeeping then routes to per-LP sinks and is aggregated at window
+	// barriers instead of touching the shared fields above.
+	par *Parallel
 }
 
 // FlowRecord is the outcome of one completed flow.
@@ -284,7 +337,7 @@ func New(seed int64, cfg Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Network{Sched: sim.New(seed), cfg: cfg}, nil
+	return &Network{Sched: sim.New(seed), cfg: cfg, seed: seed}, nil
 }
 
 // Config returns the network configuration.
@@ -304,12 +357,20 @@ func (n *Network) AddSwitch(ports int) *Switch {
 	return s
 }
 
+// newPort allocates a port on the serial scheduler with the next global id.
+func (n *Network) newPort(owner Node, index int) *Port {
+	p := &Port{net: n, owner: owner, index: index, gid: n.nextGID, sched: n.Sched}
+	n.nextGID++
+	return p
+}
+
 // Connect wires host h's NIC to switch sw port swPort (full duplex).
 func (n *Network) Connect(h *Host, sw *Switch, swPort int) {
-	up := &Port{net: n, owner: h, index: 0}
+	up := n.newPort(h, 0)
 	down := sw.port(swPort)
 	up.peer, up.peerPort = down, swPort
 	down.peer, down.peerPort = up, 0
+	up.propDelay, down.propDelay = n.cfg.PropDelay, n.cfg.PropDelay
 	h.nic = up
 }
 
@@ -318,44 +379,93 @@ func (n *Network) ConnectSwitches(sw1 *Switch, p1 int, sw2 *Switch, p2 int) {
 	a, b := sw1.port(p1), sw2.port(p2)
 	a.peer, a.peerPort = b, p2
 	b.peer, b.peerPort = a, p1
+	a.propDelay, b.propDelay = n.cfg.PropDelay, n.cfg.PropDelay
 }
 
-// StartFlow schedules a new flow of the given size at time at. The FCT is
-// recorded when the final byte is cumulatively acknowledged.
-func (n *Network) StartFlow(src, dst int, bytes int64, at sim.Time) int64 {
+// SetLinkPropDelay overrides the propagation delay of the duplex link at
+// the given port (both directions). Topology builders use it to model
+// longer cross-pod fibers, which also widens the parallel driver's
+// lookahead window when those are the only inter-LP links.
+func (n *Network) SetLinkPropDelay(p *Port, d sim.Time) {
+	if d < 1 {
+		panic(fmt.Sprintf("netsim: propagation delay %v < 1ns", d))
+	}
+	p.propDelay = d
+	if p.peer != nil {
+		p.peer.propDelay = d
+	}
+}
+
+// StartFlow schedules a new flow of the given size at time at; the FCT is
+// recorded when the final byte is cumulatively acknowledged. It validates
+// its arguments at the API boundary — host ids in range, src ≠ dst, bytes
+// ≥ 1, and a start time not in the past — and returns a descriptive error
+// instead of letting a bad start time panic deep inside the event kernel.
+// In the parallel driver, call it before the run or between windows.
+func (n *Network) StartFlow(src, dst int, bytes int64, at sim.Time) (int64, error) {
+	if src < 0 || src >= len(n.Hosts) || dst < 0 || dst >= len(n.Hosts) {
+		return 0, fmt.Errorf("netsim: StartFlow host out of range: src %d, dst %d with %d hosts", src, dst, len(n.Hosts))
+	}
 	if src == dst {
-		panic("netsim: flow to self")
+		return 0, fmt.Errorf("netsim: StartFlow src == dst (%d): flow to self", src)
+	}
+	if bytes < 1 {
+		return 0, fmt.Errorf("netsim: StartFlow flow size %d bytes < 1", bytes)
+	}
+	h := n.Hosts[src]
+	if now := h.sched.Now(); at < now {
+		return 0, fmt.Errorf("netsim: StartFlow start time %v is in the past (now %v)", at, now)
 	}
 	n.nextFlowID++
 	id := n.nextFlowID
 	n.active++
-	n.Sched.At(at, func() {
-		n.Hosts[src].startSender(id, dst, bytes, at)
+	h.sched.AtPri(at, key(priStart, int(id)), func() {
+		h.startSender(id, dst, bytes, at)
 	})
-	return id
+	return id, nil
 }
 
 // ActiveFlows returns the number of flows started but not yet completed.
-func (n *Network) ActiveFlows() int { return n.active }
+// Under the parallel driver it reflects completions aggregated at the last
+// window barrier and must be called between windows (the coordinator's
+// loop does).
+func (n *Network) ActiveFlows() int {
+	if n.par != nil {
+		return n.par.activeFlows()
+	}
+	return n.active
+}
 
-// Records returns the completed-flow records.
-func (n *Network) Records() []FlowRecord { return n.fcts }
+// Records returns the completed-flow records. The serial driver appends
+// them in completion-event order; the parallel driver merges the per-LP
+// lists into exactly that order (see Parallel.records), so the result is
+// bit-identical across drivers at equal seeds.
+func (n *Network) Records() []FlowRecord {
+	if n.par != nil {
+		return n.par.records()
+	}
+	return n.fcts
+}
 
-func (n *Network) flowDone(rec FlowRecord) {
+// flowDone records a completed flow. h is the sending host, whose LP owns
+// the completion event in the parallel driver.
+func (n *Network) flowDone(h *Host, rec FlowRecord) {
+	if h.lp != nil {
+		h.lp.completed++
+		h.lp.fcts = append(h.lp.fcts, rec)
+		return
+	}
 	n.active--
 	n.fcts = append(n.fcts, rec)
 }
 
 // StartMetricTicks begins the periodic per-switch metric refresh loop
 // (§7.2.3: "each switch periodically generates the queuing, loss rate, and
-// utilization metrics for its links").
+// utilization metrics for its links"). Each switch ticks on its own
+// scheduler with a switch-id-keyed priority, so refresh order at an
+// instant is switch-id order in both drivers.
 func (n *Network) StartMetricTicks() {
-	var tick func()
-	tick = func() {
-		for _, sw := range n.Switches {
-			sw.refreshMetrics(n.cfg.MetricTick)
-		}
-		n.Sched.After(n.cfg.MetricTick, tick)
+	for _, sw := range n.Switches {
+		sw.startMetricTick()
 	}
-	n.Sched.After(n.cfg.MetricTick, tick)
 }

@@ -1,0 +1,408 @@
+package netsim_test
+
+// Serial-vs-parallel bit-identity suite for the conservative-lookahead
+// driver, in an external test package so it can drive real topologies.
+// Each test builds the same network twice from the same seed, runs one
+// copy on the serial scheduler and one under NewParallel, and compares a
+// full state digest: every flow record field, every port counter, the
+// EWMA metric bits, and every host's retransmit counters. make check-psim
+// runs this file under -race at GOMAXPROCS=1 and 4.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/netsim/topology"
+	"repro/internal/sim"
+)
+
+// buildFT builds a k-ary fat tree with metric ticks running and the given
+// core-link propagation delay (0 keeps the config default).
+func buildFT(t testing.TB, seed int64, k int, coreDelay sim.Time) (*netsim.Network, *topology.FatTree) {
+	t.Helper()
+	net, err := netsim.New(seed, netsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := topology.NewFatTree(net, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coreDelay > 0 {
+		ft.SetCorePropDelay(coreDelay)
+	}
+	return net, ft
+}
+
+// offerRandom starts flows pre-run from the network's own seeded RNG, so
+// serial and parallel copies built from the same seed offer byte-identical
+// traffic.
+func offerRandom(t testing.TB, net *netsim.Network, flows int) {
+	t.Helper()
+	r := net.Sched.Rand()
+	hosts := len(net.Hosts)
+	at := sim.Time(0)
+	for i := 0; i < flows; i++ {
+		src, dst := r.Intn(hosts), r.Intn(hosts)
+		for dst == src {
+			dst = r.Intn(hosts)
+		}
+		size := int64(1500 * (1 + r.Intn(40)))
+		if _, err := net.StartFlow(src, dst, size, at); err != nil {
+			t.Fatalf("StartFlow: %v", err)
+		}
+		at += sim.Time(r.Intn(20)) * sim.Microsecond
+	}
+}
+
+// armFaultPlan arms the nastiest deterministic fault mix the simulator
+// supports — link flaps on core and edge uplinks, a full switch
+// fail/recover cycle, and a lossy control channel narrowing and restoring
+// edge candidate sets — via the driver-agnostic Arm* API. The plan is
+// pre-computed from its own seeded RNG so both drivers arm identical
+// events in identical program order.
+func armFaultPlan(t testing.TB, net *netsim.Network, ft *topology.FatTree) {
+	t.Helper()
+	r := rand.New(rand.NewSource(999))
+	half := ft.K / 2
+
+	// Link flaps: every aggregation switch's first core uplink and every
+	// pod's first edge uplink flap once, at jittered times.
+	for p := 0; p < ft.K; p++ {
+		agg := ft.Aggs[p][0]
+		down := sim.Time(200+r.Intn(400)) * sim.Microsecond
+		net.ArmLink(agg.Port(half), true, down)
+		net.ArmLink(agg.Port(half), false, down+sim.Time(1+r.Intn(3))*sim.Millisecond)
+
+		edge := ft.Edges[p][0]
+		down = sim.Time(300+r.Intn(500)) * sim.Microsecond
+		net.ArmLink(edge.Port(half), true, down)
+		net.ArmLink(edge.Port(half), false, down+sim.Time(1+r.Intn(2))*sim.Millisecond)
+	}
+
+	// One aggregation switch dies wholesale and comes back.
+	net.ArmSwitchFail(ft.Aggs[0][half-1], true, 500*sim.Microsecond)
+	net.ArmSwitchFail(ft.Aggs[0][half-1], false, 4*sim.Millisecond)
+
+	// Lossy control channel: reroute updates that narrow an edge switch's
+	// uplink set to dodge the flapping agg, then restore it. Loss and
+	// delay are drawn pre-run (the channel model), so a "dropped" update
+	// is simply never armed; restores always arrive so the run completes.
+	for p := 0; p < ft.K; p++ {
+		edge := ft.Edges[p][0]
+		narrowAt := sim.Time(250+r.Intn(200)) * sim.Microsecond
+		narrowAt += sim.Time(r.Intn(100)) * sim.Microsecond // channel delay
+		restoreAt := narrowAt + sim.Time(2+r.Intn(3))*sim.Millisecond
+		uplinks := make([]int, half)
+		for i := range uplinks {
+			uplinks[i] = half + i
+		}
+		for dst := 0; dst < len(net.Hosts); dst += 3 {
+			dst := dst
+			if ft.EdgeOf(dst) == edge {
+				continue // local hosts route to their host port, never uplinks
+			}
+			if r.Float64() < 0.3 {
+				continue // update lost in the control channel
+			}
+			if err := net.ArmControl(edge, narrowAt, func() {
+				edge.SetCandidates(dst, uplinks[half-1:])
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := net.ArmControl(edge, restoreAt, func() {
+				edge.SetCandidates(dst, uplinks)
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// digest renders the complete observable end state. Any divergence between
+// drivers — one counter, one EWMA bit, one record out of order — fails the
+// comparison.
+func digest(net *netsim.Network) string {
+	var b strings.Builder
+	for _, rec := range net.Records() {
+		fmt.Fprintf(&b, "flow %d %d->%d %dB [%d,%d]\n",
+			rec.FlowID, rec.Src, rec.Dst, rec.Bytes, int64(rec.Start), int64(rec.End))
+	}
+	for _, sw := range net.Switches {
+		fmt.Fprintf(&b, "sw%d fail=%v faultDrops=%d\n", sw.ID(), sw.Failed(), sw.FaultDrops())
+		for i := 0; i < sw.NumPorts(); i++ {
+			p := sw.Port(i)
+			fmt.Fprintf(&b, "  p%d sent=%d/%dB recv=%d drop=%d fault=%d q=%d util=%x loss=%x\n",
+				i, p.Sent(), p.SentBytes(), p.Recvs(), p.Drops(), p.FaultDrops(),
+				p.QueueLen(), p.UtilEWMA(), p.LossEWMA())
+		}
+	}
+	for _, h := range net.Hosts {
+		rto, fast := h.Retransmits()
+		nic := h.NIC()
+		fmt.Fprintf(&b, "h%d rto=%d fast=%d sent=%d recv=%d drop=%d\n",
+			h.ID(), rto, fast, nic.Sent(), nic.Recvs(), nic.Drops())
+	}
+	return b.String()
+}
+
+// runSerial drives the network to completion plus a fixed settle horizon,
+// so tick-driven metrics stop at the same instant as the parallel copy.
+func runSerial(t testing.TB, net *netsim.Network, settle sim.Time) {
+	t.Helper()
+	deadline := sim.Time(0)
+	for net.ActiveFlows() > 0 {
+		deadline += 10 * sim.Millisecond
+		net.Sched.RunUntil(deadline)
+		if deadline > settle {
+			t.Fatalf("serial: %d flows did not complete by %v", net.ActiveFlows(), settle)
+		}
+	}
+	net.Sched.RunUntil(settle)
+}
+
+func runParallel(t testing.TB, net *netsim.Network, par *netsim.Parallel, settle sim.Time) {
+	t.Helper()
+	if _, err := par.RunUntilDone(settle); err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	par.RunUntil(settle)
+}
+
+// identityCase runs the same scenario serially and in parallel and
+// compares digests.
+func identityCase(t *testing.T, k, lps, flows int, coreDelay sim.Time, faults bool) {
+	t.Helper()
+	const seed = 42
+	settle := 50 * sim.Millisecond
+
+	serialNet, serialFT := buildFT(t, seed, k, coreDelay)
+	if faults {
+		armFaultPlan(t, serialNet, serialFT)
+	}
+	offerRandom(t, serialNet, flows)
+	serialNet.StartMetricTicks()
+	runSerial(t, serialNet, settle)
+	want := digest(serialNet)
+
+	parNet, parFT := buildFT(t, seed, k, coreDelay)
+	pt, err := parFT.Partition(lps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := netsim.NewParallel(parNet, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+	if faults {
+		armFaultPlan(t, parNet, parFT)
+	}
+	offerRandom(t, parNet, flows)
+	parNet.StartMetricTicks()
+	runParallel(t, parNet, par, settle)
+	got := digest(parNet)
+
+	if got != want {
+		t.Fatalf("parallel digest diverges from serial (k=%d, %d LPs, faults=%v):\n%s",
+			k, lps, faults, firstDiff(want, got))
+	}
+	if len(parNet.Records()) != flows {
+		t.Fatalf("completed %d of %d flows", len(parNet.Records()), flows)
+	}
+}
+
+// firstDiff returns the first differing line pair for readable failures.
+func firstDiff(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(w) && i < len(g); i++ {
+		if w[i] != g[i] {
+			return fmt.Sprintf("line %d:\n  serial:   %s\n  parallel: %s", i+1, w[i], g[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: serial %d, parallel %d", len(w), len(g))
+}
+
+func TestParallelIdentityFatTreeClean(t *testing.T) {
+	// k=4 with the finest partition (one LP per pod + core LP) and the
+	// default 1 µs lookahead — maximal barrier churn.
+	identityCase(t, 4, 5, 120, 0, false)
+}
+
+func TestParallelIdentityFatTreeCleanK8(t *testing.T) {
+	// The acceptance case: k=8 (128 hosts) bit-identical across drivers.
+	identityCase(t, 8, 9, 200, 0, false)
+}
+
+func TestParallelIdentityFatTreeFaults(t *testing.T) {
+	// Link flaps + switch failure + RTO recovery + lossy control channel:
+	// the nastiest interleavings the simulator produces.
+	identityCase(t, 4, 5, 120, 0, true)
+}
+
+func TestParallelIdentityFatTreeFaultsK8(t *testing.T) {
+	identityCase(t, 8, 9, 200, 0, true)
+}
+
+func TestParallelIdentityFewerLPsAndWideLookahead(t *testing.T) {
+	// Pods sharing LPs and a 10 µs core delay (the scale-sweep
+	// configuration) must not change results either.
+	identityCase(t, 4, 3, 120, 10*sim.Microsecond, true)
+}
+
+func TestParallelFatTreeK16Completes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("k=16 fat tree is a long test")
+	}
+	net, ft := buildFT(t, 7, 16, 10*sim.Microsecond)
+	if hosts := len(net.Hosts); hosts != 1024 {
+		t.Fatalf("k=16 fat tree has %d hosts, want 1024", hosts)
+	}
+	pt, err := ft.Partition(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := netsim.NewParallel(net, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+	offerRandom(t, net, 2000)
+	end, err := par.RunUntilDone(5 * sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(net.Records()); got != 2000 {
+		t.Fatalf("completed %d of 2000 flows by %v", got, end)
+	}
+}
+
+// TestConservationUnderFaultInterleaving is the satellite-3 regression: a
+// seeded storm of mid-transmission link flips and a switch kill must never
+// double-count or lose a packet. Every packet a port starts transmitting
+// delivers exactly once (sent == peer recvs), queues and the event-driven
+// trackers read empty at quiescence, and total drops reconcile.
+func TestConservationUnderFaultInterleaving(t *testing.T) {
+	net, ft := buildFT(t, 1234, 4, 0)
+
+	// Flap every agg uplink and edge uplink several times at pseudo-random
+	// instants chosen to land inside active transmissions.
+	r := rand.New(rand.NewSource(77))
+	half := ft.K / 2
+	for p := 0; p < ft.K; p++ {
+		for a := 0; a < half; a++ {
+			for _, sw := range []*netsim.Switch{ft.Aggs[p][a], ft.Edges[p][a]} {
+				for port := half; port < ft.K; port++ {
+					at := sim.Time(r.Intn(3000)) * sim.Microsecond
+					for flip := 0; flip < 4; flip++ {
+						net.ArmLink(sw.Port(port), flip%2 == 0, at)
+						at += sim.Time(1+r.Intn(700)) * sim.Microsecond
+					}
+					// Leave the link up.
+					net.ArmLink(sw.Port(port), false, at)
+				}
+			}
+		}
+	}
+	net.ArmSwitchFail(ft.Aggs[1][0], true, 800*sim.Microsecond)
+	net.ArmSwitchFail(ft.Aggs[1][0], false, 2500*sim.Microsecond)
+
+	offerRandom(t, net, 150)
+	runSerial(t, net, 200*sim.Millisecond)
+
+	checkPort := func(where string, p *netsim.Port) {
+		if p == nil || p.Peer() == nil {
+			return
+		}
+		if p.Sent() != p.Peer().Recvs() {
+			t.Errorf("%s: sent %d packets but peer received %d", where, p.Sent(), p.Peer().Recvs())
+		}
+		if p.QueueLen() != 0 {
+			t.Errorf("%s: queue not drained at quiescence (%d)", where, p.QueueLen())
+		}
+	}
+	for _, sw := range net.Switches {
+		for i := 0; i < sw.NumPorts(); i++ {
+			checkPort(fmt.Sprintf("sw%d port %d", sw.ID(), i), sw.Port(i))
+			if l := sw.Tracker.Len(i); l != 0 {
+				t.Errorf("sw%d tracker queue %d reads %d at quiescence", sw.ID(), i, l)
+			}
+		}
+	}
+	for _, h := range net.Hosts {
+		checkPort(fmt.Sprintf("host %d nic", h.ID()), h.NIC())
+	}
+	if got := len(net.Records()); got != 150 {
+		t.Fatalf("completed %d of 150 flows", got)
+	}
+}
+
+func TestStartFlowValidation(t *testing.T) {
+	net, _ := buildFT(t, 1, 4, 0)
+	cases := []struct {
+		name             string
+		src, dst         int
+		bytes            int64
+		at               sim.Time
+		wantErrSubstring string
+	}{
+		{"src out of range", -1, 1, 100, 0, "out of range"},
+		{"dst out of range", 0, 9999, 100, 0, "out of range"},
+		{"self flow", 3, 3, 100, 0, "flow to self"},
+		{"empty flow", 0, 1, 0, 0, "< 1"},
+	}
+	for _, c := range cases {
+		if _, err := net.StartFlow(c.src, c.dst, c.bytes, c.at); err == nil || !strings.Contains(err.Error(), c.wantErrSubstring) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.wantErrSubstring)
+		}
+	}
+
+	// The past-start-time regression: advance the clock, then ask for a
+	// start in the past. Historically this panicked inside the event
+	// kernel; now it is a descriptive error naming the API.
+	net.Sched.RunUntil(5 * sim.Millisecond)
+	if _, err := net.StartFlow(0, 1, 100, 1*sim.Millisecond); err == nil ||
+		!strings.Contains(err.Error(), "StartFlow start time") {
+		t.Errorf("past start: err = %v, want StartFlow boundary error", err)
+	}
+
+	// And a valid flow still works.
+	if _, err := net.StartFlow(0, 1, 100, 6*sim.Millisecond); err != nil {
+		t.Errorf("valid flow rejected: %v", err)
+	}
+}
+
+func TestNewParallelRejectsLateTakeover(t *testing.T) {
+	net, ft := buildFT(t, 1, 4, 0)
+	if _, err := net.StartFlow(0, 1, 1500, 0); err != nil {
+		t.Fatal(err)
+	}
+	pt, err := ft.Partition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := netsim.NewParallel(net, pt); err == nil {
+		t.Fatal("NewParallel accepted a network with pending events")
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	net, ft := buildFT(t, 1, 4, 0)
+	if _, err := ft.Partition(0); err == nil {
+		t.Error("Partition(0) accepted")
+	}
+	if _, err := ft.Partition(6); err == nil {
+		t.Error("Partition(k+2) accepted")
+	}
+	pt, err := ft.Partition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt.SwitchLP[0] = 99
+	if err := pt.Validate(net); err == nil {
+		t.Error("out-of-range LP id accepted")
+	}
+}

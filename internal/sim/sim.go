@@ -47,11 +47,12 @@ func (t Time) String() string {
 // Seconds converts to floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
-// event is one arena slot. While queued, at/seq/fn are live; while free,
-// next links the slot into the free-list.
+// event is one arena slot. While queued, at/pri/seq/fn are live; while
+// free, next links the slot into the free-list.
 type event struct {
 	at   Time
-	seq  uint64 // FIFO tie-break for simultaneous events
+	pri  uint64 // caller-supplied tie-break before seq; 0 for At/After
+	seq  uint64 // FIFO tie-break for simultaneous same-priority events
 	fn   func()
 	next int32 // free-list link, -1 terminates
 }
@@ -62,7 +63,7 @@ type Scheduler struct {
 	now     Time
 	seq     uint64
 	events  []event // arena; indices are stable between heap operations
-	heap    []int32 // 4-ary min-heap of arena indices, ordered by (at, seq)
+	heap    []int32 // 4-ary min-heap of arena indices, ordered by (at, pri, seq)
 	free    int32   // head of the free-list of arena slots, -1 when empty
 	stopped bool
 	rng     *rand.Rand
@@ -81,7 +82,16 @@ func (s *Scheduler) Rand() *rand.Rand { return s.rng }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a modelling bug.
-func (s *Scheduler) At(t Time, fn func()) {
+func (s *Scheduler) At(t Time, fn func()) { s.AtPri(t, 0, fn) }
+
+// AtPri schedules fn at absolute time t with an explicit tie-break
+// priority. Events at equal times execute in ascending pri order; equal
+// (time, pri) pairs fall back to scheduling-order FIFO. Callers that need
+// an execution order independent of the order in which events happened to
+// be scheduled (the parallel netsim driver's determinism contract) derive
+// pri from simulation content — a port id, a flow id — instead of relying
+// on the FIFO fallback.
+func (s *Scheduler) AtPri(t Time, pri uint64, fn func()) {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
@@ -95,7 +105,7 @@ func (s *Scheduler) At(t Time, fn func()) {
 		idx = int32(len(s.events) - 1)
 	}
 	e := &s.events[idx]
-	e.at, e.seq, e.fn = t, s.seq, fn
+	e.at, e.pri, e.seq, e.fn = t, pri, s.seq, fn
 	s.heap = append(s.heap, idx)
 	s.siftUp(len(s.heap) - 1)
 }
@@ -108,26 +118,70 @@ func (s *Scheduler) After(d Time, fn func()) {
 	s.At(s.now+d, fn)
 }
 
+// AfterPri schedules fn d nanoseconds from now with an explicit tie-break
+// priority; see AtPri.
+func (s *Scheduler) AfterPri(d Time, pri uint64, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	s.AtPri(s.now+d, pri, fn)
+}
+
 // Pending returns the number of queued events.
 func (s *Scheduler) Pending() int { return len(s.heap) }
 
-// Stop makes the current Run/RunUntil call return after the in-progress
-// event completes.
+// Stop latches the scheduler stopped: the in-progress Run/RunUntil/
+// RunWindow call returns after the current event completes, and every
+// later run call returns immediately (executing nothing) until Resume
+// clears the latch.
+//
+// The latch is sticky by design. The windowed parallel driver runs a
+// scheduler as a sequence of short RunWindow calls, so a Stop issued
+// between windows — or from a callback that fires in a later window — must
+// survive across run calls instead of being silently cleared by the next
+// one (the historical behavior, which lost exactly those stops).
 func (s *Scheduler) Stop() { s.stopped = true }
+
+// Stopped reports whether the stop latch is set.
+func (s *Scheduler) Stopped() bool { return s.stopped }
+
+// Resume clears the stop latch so subsequent run calls execute events
+// again. Pending events are untouched by Stop/Resume.
+func (s *Scheduler) Resume() { s.stopped = false }
 
 // Run executes events until the queue empties or Stop is called, leaving
 // Now at the time of the last executed event. It returns the number of
-// events executed.
+// events executed. If the stop latch is set it returns 0 immediately.
 func (s *Scheduler) Run() int { return s.run(MaxTime, false) }
 
 // RunUntil executes events with timestamps ≤ deadline, stopping when the
 // queue empties, Stop is called, or the next event lies beyond the
-// deadline. Unless stopped early, Now finishes at the deadline. It returns
-// the number of events executed.
+// deadline. Unless stopped, Now finishes at the deadline. It returns the
+// number of events executed. If the stop latch is set it returns 0
+// immediately.
 func (s *Scheduler) RunUntil(deadline Time) int { return s.run(deadline, true) }
 
+// RunWindow executes the half-open window [Now, end): every event with a
+// timestamp strictly before end runs, and Now finishes at end so the next
+// window picks up exactly where this one stopped. Events may still be
+// scheduled at or after end once it returns (At accepts t ≥ Now). It
+// returns the number of events executed; if the stop latch is set or end ≤
+// Now, it returns 0 without executing anything. This is the parallel
+// driver's synchronization quantum: each logical process runs one
+// lookahead window, exchanges cross-process packets at the barrier, and
+// repeats.
+func (s *Scheduler) RunWindow(end Time) int {
+	if s.stopped || end <= s.now {
+		return 0
+	}
+	n := s.run(end-1, true)
+	if !s.stopped && s.now < end {
+		s.now = end
+	}
+	return n
+}
+
 func (s *Scheduler) run(deadline Time, advance bool) int {
-	s.stopped = false
 	count := 0
 	for len(s.heap) > 0 && !s.stopped {
 		top := s.heap[0]
@@ -153,13 +207,16 @@ func (s *Scheduler) run(deadline Time, advance bool) int {
 	return count
 }
 
-// less orders arena slots by (at, seq); seq is unique, so the order is a
-// strict total order and heap layout differences can never change the
+// less orders arena slots by (at, pri, seq); seq is unique, so the order
+// is a strict total order and heap layout differences can never change the
 // execution order.
 func (s *Scheduler) less(a, b int32) bool {
 	ea, eb := &s.events[a], &s.events[b]
 	if ea.at != eb.at {
 		return ea.at < eb.at
+	}
+	if ea.pri != eb.pri {
+		return ea.pri < eb.pri
 	}
 	return ea.seq < eb.seq
 }

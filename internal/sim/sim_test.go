@@ -130,10 +130,135 @@ func TestStop(t *testing.T) {
 	if count != 1 {
 		t.Fatalf("count = %d, want 1 (stopped)", count)
 	}
-	// Run again resumes.
+	if !s.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+	// The latch is sticky: running again without Resume executes nothing.
+	if n := s.Run(); n != 0 || count != 1 {
+		t.Fatalf("stopped Run executed %d events, count %d", n, count)
+	}
+	s.Resume()
+	if s.Stopped() {
+		t.Fatal("Stopped() = true after Resume")
+	}
 	s.Run()
 	if count != 2 {
-		t.Fatalf("count = %d after resume", count)
+		t.Fatalf("count = %d after Resume+Run", count)
+	}
+}
+
+func TestStopBeforeRunIsNotLost(t *testing.T) {
+	// Regression: run() used to clear the latch on entry, so a Stop issued
+	// between runs was silently discarded and the next run executed events.
+	s := New(1)
+	var count int
+	s.At(10, func() { count++ })
+	s.Stop()
+	if n := s.Run(); n != 0 || count != 0 {
+		t.Fatalf("Run after Stop executed %d events, count %d", n, count)
+	}
+	if n := s.RunUntil(100); n != 0 {
+		t.Fatalf("RunUntil after Stop executed %d events", n)
+	}
+	if s.Now() != 0 {
+		t.Fatalf("stopped run advanced Now to %v", s.Now())
+	}
+	s.Resume()
+	if n := s.Run(); n != 1 || count != 1 {
+		t.Fatalf("Run after Resume executed %d events, count %d", n, count)
+	}
+}
+
+func TestStopFromCallbackHoldsAcrossWindows(t *testing.T) {
+	// Regression: a Stop fired by a callback inside window k must still be
+	// latched when the windowed driver starts window k+1.
+	s := New(1)
+	var count int
+	s.At(10, func() { count++; s.Stop() })
+	s.At(30, func() { count++ })
+	if n := s.RunWindow(20); n != 1 {
+		t.Fatalf("window 1 executed %d events", n)
+	}
+	if !s.Stopped() {
+		t.Fatal("Stop from callback not latched")
+	}
+	if n := s.RunWindow(40); n != 0 || count != 1 {
+		t.Fatalf("window 2 executed %d events, count %d", n, count)
+	}
+	s.Resume()
+	if n := s.RunWindow(40); n != 1 || count != 2 {
+		t.Fatalf("window 2 after Resume executed %d events, count %d", n, count)
+	}
+}
+
+func TestRunWindowHalfOpen(t *testing.T) {
+	s := New(1)
+	var got []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		s.At(at, func() { got = append(got, at) })
+	}
+	// [0, 10): executes 5 only; the event at exactly 10 belongs to the next
+	// window.
+	if n := s.RunWindow(10); n != 1 {
+		t.Fatalf("window [0,10) executed %d events", n)
+	}
+	if s.Now() != 10 {
+		t.Fatalf("Now = %v, want 10", s.Now())
+	}
+	// [10, 21): executes 10, 15, 20.
+	if n := s.RunWindow(21); n != 3 {
+		t.Fatalf("window [10,21) executed %d events", n)
+	}
+	if want := []Time{5, 10, 15, 20}; len(got) != 4 || got[0] != want[0] || got[3] != want[3] {
+		t.Fatalf("order = %v", got)
+	}
+	// An empty or backwards window is a no-op.
+	if n := s.RunWindow(21); n != 0 {
+		t.Fatalf("empty window executed %d events", n)
+	}
+	if n := s.RunWindow(5); n != 0 || s.Now() != 21 {
+		t.Fatalf("backwards window executed %d events, Now %v", n, s.Now())
+	}
+	// Scheduling exactly at the window edge is legal after the window runs.
+	s.At(21, func() { got = append(got, 21) })
+	s.RunWindow(22)
+	if got[len(got)-1] != 21 {
+		t.Fatalf("edge event did not run: %v", got)
+	}
+}
+
+func TestAtPriOrdersSimultaneousEvents(t *testing.T) {
+	s := New(1)
+	var got []int
+	// Scheduled in descending-pri order to prove pri, not FIFO, decides.
+	s.AtPri(100, 30, func() { got = append(got, 3) })
+	s.AtPri(100, 20, func() { got = append(got, 2) })
+	s.AtPri(100, 10, func() { got = append(got, 1) })
+	// pri 0 (plain At) sorts before any keyed event at the same time.
+	s.At(100, func() { got = append(got, 0) })
+	// Time still dominates pri.
+	s.AtPri(50, 99, func() { got = append(got, -1) })
+	s.Run()
+	for i, want := range []int{-1, 0, 1, 2, 3} {
+		if got[i] != want {
+			t.Fatalf("order = %v", got)
+		}
+	}
+}
+
+func TestAtPriEqualPriFallsBackToFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 8; i++ {
+		i := i
+		s.AtPri(100, 7, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("FIFO violated at equal (at, pri): %v", got)
+		}
 	}
 }
 
